@@ -1,0 +1,76 @@
+// A8 — Extension: local-search refinement on top of the paper's
+// algorithms. Measures how much objective head-room HTA-GRE leaves and
+// how much of HTA-APP's advantage a few cheap refinement passes
+// recover.
+#include <iostream>
+
+#include "assign/local_search.h"
+#include "assign/hta_solver.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace hta;
+  bench::PrintBanner("ablation: local-search refinement (extension)",
+                     "beyond the paper: anytime improvement of HTA-GRE");
+
+  std::vector<size_t> sizes;
+  size_t workers = 30;
+  size_t xmax = 10;
+  switch (GetBenchScale()) {
+    case BenchScale::kSmoke:
+      sizes = {200};
+      workers = 8;
+      xmax = 5;
+      break;
+    case BenchScale::kDefault:
+      sizes = {400, 800};
+      break;
+    case BenchScale::kPaper:
+      sizes = {2000, 4000};
+      workers = 100;
+      xmax = 20;
+      break;
+  }
+
+  TableWriter table({"|T|", "variant", "motivation", "vs hta-app",
+                     "time (s)"});
+  for (size_t n : sizes) {
+    const auto workload = bench::MakeOfflineWorkload(n / 20, 20, workers);
+    auto problem =
+        HtaProblem::Create(&workload.catalog.tasks, &workload.workers, xmax);
+    HTA_CHECK(problem.ok()) << problem.status();
+
+    auto app = SolveHtaApp(*problem, 42);
+    HTA_CHECK(app.ok()) << app.status();
+    const double app_motivation = app->stats.motivation;
+
+    auto add_row = [&](const char* name, double motivation, double seconds) {
+      table.AddRow({FmtInt(static_cast<long long>(n)), name,
+                    FmtDouble(motivation, 1),
+                    FmtDouble(motivation / app_motivation, 3),
+                    FmtDouble(seconds, 3)});
+    };
+    add_row("hta-app", app_motivation, app->stats.total_seconds);
+
+    auto gre = SolveHtaGre(*problem, 42);
+    HTA_CHECK(gre.ok()) << gre.status();
+    add_row("hta-gre", gre->stats.motivation, gre->stats.total_seconds);
+
+    WallTimer refine_timer;
+    LocalSearchOptions refine;
+    refine.max_passes = 4;
+    auto improved = ImproveAssignment(*problem, gre->assignment, refine);
+    HTA_CHECK(improved.ok()) << improved.status();
+    add_row("hta-gre + local search", improved->motivation,
+            gre->stats.total_seconds + refine_timer.ElapsedSeconds());
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected: refinement not only closes the gre/app gap but "
+               "typically exceeds hta-app —\nboth paper algorithms optimize "
+               "a *linear proxy* (the auxiliary LSAP) of the quadratic\n"
+               "objective, while local search improves the true objective "
+               "directly.\n";
+  return 0;
+}

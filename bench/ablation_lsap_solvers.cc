@@ -1,0 +1,84 @@
+// A1 — Ablation: LSAP solver choice inside the HTA pipeline. Compares
+// the exact Jonker-Volgenant solve (HTA-APP), the simple Hungarian
+// reference, the greedy 1/2-approximation (HTA-GRE), and the auction
+// heuristic on the same auxiliary LSAP instances.
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "matching/lsap.h"
+#include "matching/max_weight_matching.h"
+#include "qap/qap_view.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace hta;
+  bench::PrintBanner("ablation: LSAP solvers",
+                     "design choice behind HTA-APP vs HTA-GRE (Section IV)");
+
+  std::vector<size_t> sizes;
+  switch (GetBenchScale()) {
+    case BenchScale::kSmoke:
+      sizes = {100, 200};
+      break;
+    case BenchScale::kDefault:
+      sizes = {200, 400, 800};
+      break;
+    case BenchScale::kPaper:
+      sizes = {500, 1000, 2000, 4000};
+      break;
+  }
+
+  TableWriter table(
+      {"n", "solver", "profit", "vs exact", "time (ms)"});
+  for (size_t n : sizes) {
+    const auto workload =
+        bench::MakeOfflineWorkload(n / 20, 20, std::max<size_t>(n / 40, 2));
+    auto problem = HtaProblem::Create(&workload.catalog.tasks,
+                                      &workload.workers, 10);
+    HTA_CHECK(problem.ok()) << problem.status();
+    const QapView view(&*problem);
+
+    // Build the same auxiliary profit HTA uses (Algorithm 1, Line 10).
+    const GraphMatching mb = GreedyMatchingOnTaskGraph(problem->oracle());
+    std::vector<double> bm(view.n(), 0.0);
+    for (const auto& [u, v] : mb.edges) {
+      bm[u] = bm[v] = problem->oracle()(u, v);
+    }
+    auto profit = [&](size_t k, size_t l) {
+      return bm[k] * view.DegA(l) + view.C(k, l);
+    };
+    const size_t dim = view.n();
+    std::vector<double> dense(dim * dim);
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = 0; j < dim; ++j) dense[i * dim + j] = profit(i, j);
+    }
+
+    double exact_profit = 0.0;
+    auto run = [&](const char* name, auto solve) {
+      WallTimer timer;
+      const LsapSolution s = solve();
+      const double ms = timer.ElapsedMillis();
+      if (std::string(name) == "jv (exact)") exact_profit = s.profit;
+      table.AddRow({FmtInt(static_cast<long long>(dim)), name,
+                    FmtDouble(s.profit, 1),
+                    exact_profit > 0.0
+                        ? FmtDouble(s.profit / exact_profit, 4)
+                        : "-",
+                    FmtDouble(ms, 1)});
+    };
+    run("jv (exact)", [&] { return SolveLsapJv(dim, profit); });
+    run("hungarian (exact)", [&] { return SolveLsapHungarian(dim, dense); });
+    run("greedy (1/2)", [&] {
+      const std::vector<size_t> cols = view.WorkerColumns();
+      return SolveLsapGreedy(dim, profit, &cols);
+    });
+    run("auction", [&] { return SolveLsapAuction(dim, dense); });
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected: exact solvers agree; greedy trades a few "
+               "percent of profit for a large speedup;\nauction is "
+               "near-exact but slower than greedy on these degenerate "
+               "(many-zero-column) instances.\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// A3 — Ablation: the M_B construction (Algorithm 1, Line 2). Greedy
+// sorted-edge matching (the paper's choice) vs Drake-Hougardy
+// path-growing: both are 1/2-approximations, but with different
+// constants and costs.
+#include <iostream>
+
+#include "assign/hta_solver.h"
+#include "bench/bench_common.h"
+#include "matching/max_weight_matching.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace hta;
+  bench::PrintBanner("ablation: M_B matching algorithm",
+                     "Algorithm 1 Line 2 (greedy vs path-growing)");
+
+  std::vector<size_t> sizes;
+  switch (GetBenchScale()) {
+    case BenchScale::kSmoke:
+      sizes = {200};
+      break;
+    case BenchScale::kDefault:
+      sizes = {400, 800, 1600};
+      break;
+    case BenchScale::kPaper:
+      sizes = {1000, 2000, 4000, 8000};
+      break;
+  }
+
+  TableWriter table({"|T|", "method", "matching weight", "time (ms)",
+                     "end-to-end motivation"});
+  for (size_t n : sizes) {
+    const auto workload = bench::MakeOfflineWorkload(n / 20, 20, n / 40);
+    auto problem =
+        HtaProblem::Create(&workload.catalog.tasks, &workload.workers, 10);
+    HTA_CHECK(problem.ok()) << problem.status();
+
+    // Direct matching comparison on B.
+    std::vector<WeightedEdge> edges;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        edges.push_back(WeightedEdge{
+            static_cast<VertexId>(i), static_cast<VertexId>(j),
+            static_cast<float>(problem->oracle()(
+                static_cast<TaskIndex>(i), static_cast<TaskIndex>(j)))});
+      }
+    }
+    for (const bool greedy : {true, false}) {
+      WallTimer timer;
+      const GraphMatching m = greedy
+                                  ? GreedyMaxWeightMatching(n, edges)
+                                  : PathGrowingMatching(n, edges);
+      const double ms = timer.ElapsedMillis();
+
+      HtaSolverOptions options;
+      options.matching =
+          greedy ? MatchingMethod::kGreedy : MatchingMethod::kPathGrowing;
+      auto result = SolveHta(*problem, options);
+      HTA_CHECK(result.ok()) << result.status();
+
+      table.AddRow({FmtInt(static_cast<long long>(n)),
+                    greedy ? "greedy" : "path-growing",
+                    FmtDouble(m.total_weight, 1), FmtDouble(ms, 1),
+                    FmtDouble(result->stats.motivation, 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected: greedy finds a slightly heavier matching (it "
+               "sorts globally); path-growing\navoids the sort. End-to-end "
+               "motivation differs marginally — the paper's greedy choice "
+               "is safe.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// A4 — Ablation: the distance metric behind d() and rel(). The paper
+// uses Jaccard and requires a metric for its guarantees; this bench
+// compares metrics (and the non-metric Dice) on the same workload.
+#include <iostream>
+
+#include "assign/hta_solver.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hta;
+  bench::PrintBanner("ablation: distance metric",
+                     "Section II metric choice (Jaccard default)");
+
+  size_t tasks = 600;
+  size_t workers = 20;
+  switch (GetBenchScale()) {
+    case BenchScale::kSmoke:
+      tasks = 200;
+      workers = 8;
+      break;
+    case BenchScale::kDefault:
+      break;
+    case BenchScale::kPaper:
+      tasks = 4000;
+      workers = 100;
+      break;
+  }
+  const auto workload = bench::MakeOfflineWorkload(tasks / 20, 20, workers);
+
+  TableWriter table({"metric", "is metric", "hta-gre motivation",
+                     "hta-app motivation", "gre/app", "gre time (ms)"});
+  for (const DistanceKind kind :
+       {DistanceKind::kJaccard, DistanceKind::kHamming,
+        DistanceKind::kCosineAngular, DistanceKind::kDice}) {
+    auto problem = HtaProblem::Create(&workload.catalog.tasks,
+                                      &workload.workers, 10, kind,
+                                      /*allow_non_metric=*/true);
+    HTA_CHECK(problem.ok()) << problem.status();
+    auto gre = SolveHtaGre(*problem, 42);
+    auto app = SolveHtaApp(*problem, 42);
+    HTA_CHECK(gre.ok()) << gre.status();
+    HTA_CHECK(app.ok()) << app.status();
+    table.AddRow({DistanceKindName(kind), IsMetric(kind) ? "yes" : "NO",
+                  FmtDouble(gre->stats.motivation, 1),
+                  FmtDouble(app->stats.motivation, 1),
+                  FmtDouble(gre->stats.motivation / app->stats.motivation, 3),
+                  FmtDouble(gre->stats.total_seconds * 1e3, 1)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nnote: absolute objectives are not comparable across "
+               "metrics (different scales);\nthe gre/app ratio staying "
+               "near 1 shows the greedy approximation is metric-robust.\n"
+               "Dice is included to show the pipeline runs on non-metrics "
+               "too — without guarantees.\n";
+  return 0;
+}

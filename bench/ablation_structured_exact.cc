@@ -1,0 +1,63 @@
+// A6 — Extension: the structured exact LSAP (rectangular solve over
+// worker-clique columns only) vs the paper's square exact solve and
+// the greedy approximation, inside the full HTA pipeline. Shows that
+// exactness does not require the cubic cost the paper pays — the
+// HTA profit matrix is low-rank in columns.
+#include <iostream>
+
+#include "assign/hta_solver.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hta;
+  bench::PrintBanner("ablation: structured exact LSAP (extension)",
+                     "beyond the paper: exact solve in O((|W|Xmax)^2 |T|)");
+
+  std::vector<size_t> sizes;
+  size_t workers = 40;
+  size_t xmax = 10;
+  switch (GetBenchScale()) {
+    case BenchScale::kSmoke:
+      sizes = {200, 400};
+      workers = 10;
+      xmax = 5;
+      break;
+    case BenchScale::kDefault:
+      sizes = {400, 800, 1600};
+      break;
+    case BenchScale::kPaper:
+      sizes = {2000, 4000, 8000};
+      workers = 200;
+      xmax = 20;
+      break;
+  }
+
+  TableWriter table({"|T|", "variant", "lsap (s)", "total (s)",
+                     "qap objective"});
+  for (size_t n : sizes) {
+    const auto workload = bench::MakeOfflineWorkload(n / 20, 20, workers);
+    auto problem =
+        HtaProblem::Create(&workload.catalog.tasks, &workload.workers, xmax);
+    HTA_CHECK(problem.ok()) << problem.status();
+    for (const LsapMethod method :
+         {LsapMethod::kExactJv, LsapMethod::kExactStructured,
+          LsapMethod::kGreedy}) {
+      HtaSolverOptions options;
+      options.lsap = method;
+      options.swap = SwapMode::kNone;  // Isolate the LSAP contribution.
+      auto result = SolveHta(*problem, options);
+      HTA_CHECK(result.ok()) << result.status();
+      table.AddRow({FmtInt(static_cast<long long>(n)), SolverName(options),
+                    FmtDouble(result->stats.lsap_seconds),
+                    FmtDouble(result->stats.total_seconds),
+                    FmtDouble(result->stats.qap_objective, 1)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected: hta-app+rect solves the auxiliary LSAP to the "
+               "same optimum as hta-app (both exact;\nfinal objectives may "
+               "differ slightly across tie-equivalent optima) at a fraction "
+               "of the LSAP\ntime; greedy remains fastest but approximate.\n";
+  return 0;
+}

@@ -1,0 +1,56 @@
+#ifndef HTA_BENCH_BENCH_COMMON_H_
+#define HTA_BENCH_BENCH_COMMON_H_
+
+#include <iostream>
+#include <vector>
+
+#include "sim/catalog.h"
+#include "sim/worker_gen.h"
+#include "util/check.h"
+#include "util/env.h"
+
+namespace hta::bench {
+
+/// Builds the AMT-like offline workload of Section V-B: `num_groups`
+/// task groups with `tasks_per_group` tasks each, and synthetic workers
+/// with five uniform keywords and random (alpha, beta).
+struct OfflineWorkload {
+  Catalog catalog;
+  std::vector<Worker> workers;
+};
+
+inline OfflineWorkload MakeOfflineWorkload(size_t num_groups,
+                                           size_t tasks_per_group,
+                                           size_t num_workers,
+                                           uint64_t seed = 7) {
+  CatalogOptions catalog_options;
+  catalog_options.num_groups = num_groups;
+  catalog_options.tasks_per_group = tasks_per_group;
+  catalog_options.vocabulary_size = 1000;
+  catalog_options.seed = seed;
+  auto catalog = GenerateCatalog(catalog_options);
+  HTA_CHECK(catalog.ok()) << catalog.status();
+
+  WorkerGenOptions worker_options;
+  worker_options.count = num_workers;
+  worker_options.seed = seed + 1;
+  auto workers = GenerateWorkers(worker_options, *catalog);
+  HTA_CHECK(workers.ok()) << workers.status();
+
+  OfflineWorkload w;
+  w.catalog = std::move(*catalog);
+  w.workers = std::move(*workers);
+  return w;
+}
+
+/// Prints the standard bench banner with the active scale.
+inline void PrintBanner(const char* title, const char* paper_ref) {
+  std::cout << "=== " << title << " ===\n"
+            << "reproduces: " << paper_ref << "\n"
+            << "scale: " << BenchScaleName(GetBenchScale())
+            << "  (set HTA_BENCH_SCALE=smoke|default|paper)\n\n";
+}
+
+}  // namespace hta::bench
+
+#endif  // HTA_BENCH_BENCH_COMMON_H_

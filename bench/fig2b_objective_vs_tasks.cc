@@ -1,0 +1,61 @@
+// E2 — Fig. 2b: objective function value vs number of tasks for
+// HTA-APP and HTA-GRE. The paper's observation: the greedy LSAP does
+// not hurt the objective — both curves nearly coincide.
+#include <iostream>
+
+#include "assign/hta_solver.h"
+#include "bench/bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hta;
+  bench::PrintBanner("fig2b: objective value vs |T|",
+                     "Fig. 2b (|W|=200, Xmax=20, 200 task groups)");
+
+  std::vector<size_t> task_counts;
+  size_t workers = 200;
+  size_t xmax = 20;
+  size_t tasks_per_group = 200;
+  switch (GetBenchScale()) {
+    case BenchScale::kSmoke:
+      task_counts = {200, 400};
+      workers = 10;
+      xmax = 5;
+      tasks_per_group = 20;
+      break;
+    case BenchScale::kDefault:
+      task_counts = {400, 800, 1200, 1600};
+      workers = 40;
+      xmax = 10;
+      tasks_per_group = 50;
+      break;
+    case BenchScale::kPaper:
+      task_counts = {4000, 5000, 6000, 7000, 8000, 9000, 10000};
+      break;
+  }
+
+  TableWriter table(
+      {"|T|", "hta-app objective", "hta-gre objective", "gre/app"});
+  for (size_t n : task_counts) {
+    const auto workload = bench::MakeOfflineWorkload(
+        n / tasks_per_group, tasks_per_group, workers);
+    auto problem =
+        HtaProblem::Create(&workload.catalog.tasks, &workload.workers, xmax);
+    HTA_CHECK(problem.ok()) << problem.status();
+    auto app = SolveHtaApp(*problem, 42);
+    auto gre = SolveHtaGre(*problem, 42);
+    HTA_CHECK(app.ok()) << app.status();
+    HTA_CHECK(gre.ok()) << gre.status();
+    table.AddRow(
+        {FmtInt(static_cast<long long>(n)),
+         FmtDouble(app->stats.motivation, 1),
+         FmtDouble(gre->stats.motivation, 1),
+         FmtDouble(gre->stats.motivation / app->stats.motivation, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nexpected shape: both algorithms report very similar "
+               "objective values (ratio ~1.0),\nconfirming the paper's "
+               "finding that the greedy strategy does not hurt the "
+               "objective.\n";
+  return 0;
+}

@@ -1,0 +1,135 @@
+// A5 — Micro-benchmarks (google-benchmark): the hot kernels under the
+// HTA pipeline — distance computation, set-diversity evaluation, greedy
+// matching, and the LSAP solvers at small n.
+#include <benchmark/benchmark.h>
+
+#include "core/motivation.h"
+#include "matching/lsap.h"
+#include "matching/max_weight_matching.h"
+#include "sim/catalog.h"
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+Catalog MakeCatalog(size_t tasks) {
+  CatalogOptions options;
+  options.num_groups = std::max<size_t>(tasks / 20, 1);
+  options.tasks_per_group = 20;
+  options.vocabulary_size = 1000;
+  auto c = GenerateCatalog(options);
+  HTA_CHECK(c.ok());
+  return std::move(*c);
+}
+
+void BM_JaccardDistance(benchmark::State& state) {
+  const Catalog catalog = MakeCatalog(256);
+  const size_t n = catalog.size();
+  size_t i = 0;
+  for (auto _ : state) {
+    const double d = PairwiseTaskDiversity(
+        DistanceKind::kJaccard, catalog.tasks[i % n],
+        catalog.tasks[(i * 7 + 1) % n]);
+    benchmark::DoNotOptimize(d);
+    ++i;
+  }
+}
+BENCHMARK(BM_JaccardDistance);
+
+void BM_SetDiversity(benchmark::State& state) {
+  const Catalog catalog = MakeCatalog(256);
+  const TaskDistanceOracle oracle(&catalog.tasks, DistanceKind::kJaccard);
+  TaskBundle bundle;
+  for (TaskIndex t = 0; t < state.range(0); ++t) {
+    bundle.push_back(static_cast<TaskIndex>((t * 3) % catalog.size()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetDiversity(bundle, oracle));
+  }
+}
+BENCHMARK(BM_SetDiversity)->Arg(5)->Arg(15)->Arg(40);
+
+void BM_PrecomputedOracleLookup(benchmark::State& state) {
+  const Catalog catalog = MakeCatalog(256);
+  const size_t n = catalog.size();
+  auto oracle =
+      TaskDistanceOracle::Precomputed(&catalog.tasks, DistanceKind::kJaccard);
+  HTA_CHECK(oracle.ok());
+  size_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        (*oracle)(static_cast<TaskIndex>(i % n),
+                  static_cast<TaskIndex>((i * 13 + 1) % n)));
+    ++i;
+  }
+}
+BENCHMARK(BM_PrecomputedOracleLookup);
+
+void BM_GreedyMatching(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const Catalog catalog = MakeCatalog(n);
+  const TaskDistanceOracle oracle(&catalog.tasks, DistanceKind::kJaccard);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyMatchingOnTaskGraph(oracle));
+  }
+}
+BENCHMARK(BM_GreedyMatching)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_LsapJv(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> m(n * n);
+  for (double& v : m) v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLsapJv(n, DenseProfit(n, &m)));
+  }
+}
+BENCHMARK(BM_LsapJv)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_LsapGreedy(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> m(n * n);
+  for (double& v : m) v = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveLsapGreedy(n, DenseProfit(n, &m)));
+  }
+}
+BENCHMARK(BM_LsapGreedy)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_LsapStructured(benchmark::State& state) {
+  // HTA-shaped instance: profits confined to the first n/4 columns.
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> m(n * n, 0.0);
+  std::vector<size_t> cols;
+  for (size_t j = 0; j < n / 4; ++j) {
+    cols.push_back(j);
+    for (size_t i = 0; i < n; ++i) m[i * n + j] = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SolveLsapStructured(n, DenseProfit(n, &m), cols));
+  }
+}
+BENCHMARK(BM_LsapStructured)->Arg(100)->Arg(200)->Arg(400);
+
+void BM_MotivationEval(benchmark::State& state) {
+  const Catalog catalog = MakeCatalog(256);
+  const TaskDistanceOracle oracle(&catalog.tasks, DistanceKind::kJaccard);
+  const Worker worker(0, catalog.tasks[0].keywords(),
+                      MotivationWeights{0.4, 0.6});
+  TaskBundle bundle;
+  for (TaskIndex t = 0; t < 15; ++t) {
+    bundle.push_back(static_cast<TaskIndex>((t * 7) % catalog.size()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Motivation(bundle, worker, oracle));
+  }
+}
+BENCHMARK(BM_MotivationEval);
+
+}  // namespace
+}  // namespace hta
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Adaptive assignment in action: a single simulated worker completes
+// tasks across several iterations while the engine re-estimates her
+// (alpha, beta) from observed choices — the Section III loop.
+//
+// Run: ./build/examples/adaptive_session [latent_alpha]
+#include <cstdlib>
+#include <iostream>
+
+#include "engine/assignment_service.h"
+#include "sim/behavior.h"
+#include "sim/catalog.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hta;
+
+  double latent_alpha = 0.85;  // The worker's true diversity preference.
+  if (argc > 1) latent_alpha = std::atof(argv[1]);
+
+  CatalogOptions catalog_options;
+  catalog_options.num_groups = 30;
+  catalog_options.tasks_per_group = 20;
+  catalog_options.vocabulary_size = 250;
+  auto catalog = GenerateCatalog(catalog_options);
+  if (!catalog.ok()) {
+    std::cerr << catalog.status() << "\n";
+    return 1;
+  }
+
+  AssignmentServiceOptions service_options;
+  service_options.strategy = StrategyKind::kHtaGre;
+  service_options.xmax = 8;
+  service_options.extra_random_tasks = 2;
+  service_options.refresh_after_completions = 4;
+  service_options.max_tasks_per_iteration = 150;
+  AssignmentService service(&catalog->tasks, service_options);
+
+  BehaviorParams params;
+  params.alpha_latent = latent_alpha;
+  params.choice_noise = 0.05;
+  KeywordVector interests = catalog->tasks[0].keywords();
+  BehavioralWorker worker(&catalog->tasks, DistanceKind::kJaccard,
+                          Worker(1, interests), params, Rng(7));
+
+  const uint64_t id = service.RegisterWorker(interests);
+  std::cout << "Worker latent alpha* = " << latent_alpha
+            << " (diversity preference); engine prior = 0.5\n\n";
+
+  TableWriter table({"completions", "estimated alpha", "estimated beta",
+                     "iterations so far"});
+  for (int step = 1; step <= 32; ++step) {
+    const auto displayed = service.Displayed(id);
+    if (displayed.empty()) break;
+    const size_t chosen = worker.ChooseTask(displayed);
+    worker.RecordCompletion(chosen);
+    if (!service.NotifyCompleted(id, chosen).ok()) break;
+    if (step % 4 == 0) {
+      const MotivationWeights w = service.CurrentWeights(id);
+      table.AddRow({FmtInt(step), FmtDouble(w.alpha), FmtDouble(w.beta),
+                    FmtInt(static_cast<long long>(service.iteration_count()))});
+    }
+  }
+  table.Print(std::cout);
+
+  const MotivationWeights final_weights = service.CurrentWeights(id);
+  std::cout << "\nFinal estimate alpha = " << FmtDouble(final_weights.alpha)
+            << " vs latent alpha* = " << latent_alpha << "\n"
+            << "The estimate drifts toward the worker's true preference as "
+               "completions accumulate.\n";
+  return 0;
+}

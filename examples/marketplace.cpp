@@ -1,0 +1,77 @@
+// A synthetic AMT-like marketplace: generate a catalog of task groups
+// and a worker population, then run one holistic assignment iteration
+// and report marketplace-level statistics — the paper's offline
+// experiment setting at example scale.
+//
+// Run: ./build/examples/marketplace [#groups] [#tasks_per_group] [#workers]
+#include <cstdlib>
+#include <iostream>
+
+#include "assign/hta_solver.h"
+#include "sim/catalog.h"
+#include "sim/worker_gen.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hta;
+
+  CatalogOptions catalog_options;
+  catalog_options.num_groups = argc > 1 ? std::atoi(argv[1]) : 50;
+  catalog_options.tasks_per_group = argc > 2 ? std::atoi(argv[2]) : 20;
+  catalog_options.vocabulary_size = 600;
+  WorkerGenOptions worker_options;
+  worker_options.count = argc > 3 ? std::atoi(argv[3]) : 40;
+
+  auto catalog = GenerateCatalog(catalog_options);
+  if (!catalog.ok()) {
+    std::cerr << catalog.status() << "\n";
+    return 1;
+  }
+  auto workers = GenerateWorkers(worker_options, *catalog);
+  if (!workers.ok()) {
+    std::cerr << workers.status() << "\n";
+    return 1;
+  }
+  std::cout << "Marketplace: " << catalog->size() << " tasks in "
+            << catalog_options.num_groups << " groups, " << workers->size()
+            << " workers, Xmax = 20\n\n";
+
+  auto problem = HtaProblem::Create(&catalog->tasks, &*workers, 20);
+  if (!problem.ok()) {
+    std::cerr << problem.status() << "\n";
+    return 1;
+  }
+
+  TableWriter table({"algorithm", "motivation", "assigned", "matching (ms)",
+                     "lsap (ms)", "total (ms)"});
+  for (const bool use_app : {true, false}) {
+    auto result =
+        use_app ? SolveHtaApp(*problem, 42) : SolveHtaGre(*problem, 42);
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
+    table.AddRow({use_app ? "hta-app" : "hta-gre",
+                  FmtDouble(result->stats.motivation, 1),
+                  FmtInt(static_cast<long long>(
+                      result->assignment.AssignedTaskCount())),
+                  FmtDouble(result->stats.matching_seconds * 1e3, 1),
+                  FmtDouble(result->stats.lsap_seconds * 1e3, 1),
+                  FmtDouble(result->stats.total_seconds * 1e3, 1)});
+
+    if (!use_app) {
+      // Distribution of per-worker motivation under HTA-GRE.
+      const std::vector<double> per_worker =
+          PerWorkerMotivation(*problem, result->assignment);
+      const SampleSummary s = Summarize(per_worker);
+      std::cout << "hta-gre per-worker motivation: mean = "
+                << FmtDouble(s.mean) << ", min = " << FmtDouble(s.min)
+                << ", max = " << FmtDouble(s.max) << "\n\n";
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "\nhta-gre reaches a comparable objective far faster — the "
+               "paper's headline offline finding.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// End-to-end strategy comparison on the simulated crowd platform: runs
+// a miniature version of the paper's online deployment (Fig. 5) and
+// prints quality / throughput / retention per strategy.
+//
+// Run: ./build/examples/strategy_comparison [sessions_per_strategy]
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/online_experiment.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace hta;
+
+  OnlineExperimentOptions options;
+  options.sessions_per_strategy = argc > 1 ? std::atoi(argv[1]) : 8;
+  options.session.max_minutes = 15.0;
+  options.catalog.num_groups = 40;
+  options.catalog.tasks_per_group = 40;
+  options.seed = 2024;
+
+  std::cout << "Simulating " << options.sessions_per_strategy
+            << " work sessions per strategy ("
+            << options.session.max_minutes << "-minute cap)...\n\n";
+
+  const OnlineExperimentResult result = RunOnlineExperiment(options);
+
+  TableWriter table({"strategy", "quality", "tasks", "tasks/session",
+                     "mean session (min)"});
+  for (const StrategyCurves& c : result.curves) {
+    const double quality =
+        c.total_questions > 0
+            ? static_cast<double>(c.total_correct) / c.total_questions
+            : 0.0;
+    const SampleSummary durations = Summarize(c.session_duration_minutes);
+    const SampleSummary tasks = Summarize(c.tasks_per_session);
+    table.AddRow({StrategyName(c.kind), FmtPercent(quality),
+                  FmtInt(static_cast<long long>(c.total_tasks)),
+                  FmtDouble(tasks.mean, 1), FmtDouble(durations.mean, 1)});
+  }
+  table.Print(std::cout);
+
+  std::cout << "\nRetention (% sessions still active) at minute 5 / 10 / 15:\n";
+  for (const StrategyCurves& c : result.curves) {
+    std::cout << "  " << StrategyName(c.kind) << ": "
+              << FmtDouble(c.retention_pct[5], 0) << "% / "
+              << FmtDouble(c.retention_pct[10], 0) << "% / "
+              << FmtDouble(c.retention_pct.back(), 0) << "%\n";
+  }
+  std::cout << "\nExpected shape (paper Fig. 5): div-only wins on quality, "
+               "rel-only trails everywhere,\nadaptive hta-gre offers the "
+               "best throughput/retention compromise.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "assign/baselines.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace hta {
+
+std::string StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kHtaGre:
+      return "hta-gre";
+    case StrategyKind::kHtaGreDiv:
+      return "hta-gre-div";
+    case StrategyKind::kHtaGreRel:
+      return "hta-gre-rel";
+    case StrategyKind::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+Result<HtaSolveResult> SolveWithFixedWeights(const HtaProblem& problem,
+                                             MotivationWeights weights,
+                                             uint64_t seed, SwapMode swap) {
+  std::vector<Worker> overridden;
+  overridden.reserve(problem.worker_count());
+  for (const Worker& w : problem.workers()) {
+    overridden.emplace_back(w.id(), w.interests(), weights);
+  }
+  HTA_ASSIGN_OR_RETURN(
+      HtaProblem fixed,
+      HtaProblem::Create(&problem.tasks(), &overridden, problem.xmax(),
+                         problem.distance_kind(),
+                         /*allow_non_metric=*/true));
+  HtaSolverOptions options;
+  options.lsap = LsapMethod::kGreedy;
+  options.swap = swap;
+  options.seed = seed;
+  HTA_ASSIGN_OR_RETURN(HtaSolveResult result, SolveHta(fixed, options));
+  // Report the objective under the *true* worker weights so strategies
+  // stay comparable.
+  result.stats.motivation = TotalMotivation(problem, result.assignment);
+  return result;
+}
+
+Result<HtaSolveResult> SolveRandomAssignment(const HtaProblem& problem,
+                                             Rng* rng) {
+  HTA_CHECK(rng != nullptr);
+  WallTimer timer;
+  std::vector<TaskIndex> order(problem.task_count());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<TaskIndex>(i);
+  }
+  rng->Shuffle(&order);
+
+  HtaSolveResult result;
+  result.assignment.bundles.assign(problem.worker_count(), {});
+  const size_t capacity = problem.worker_count() * problem.xmax();
+  const size_t to_assign = std::min(order.size(), capacity);
+  for (size_t i = 0; i < to_assign; ++i) {
+    result.assignment.bundles[i % problem.worker_count()].push_back(order[i]);
+  }
+  result.stats.motivation = TotalMotivation(problem, result.assignment);
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<HtaSolveResult> SolveGreedyRelevance(const HtaProblem& problem) {
+  WallTimer timer;
+  HtaSolveResult result;
+  result.assignment.bundles.assign(problem.worker_count(), {});
+  std::vector<bool> taken(problem.task_count(), false);
+  size_t assigned = 0;
+  const size_t capacity = problem.worker_count() * problem.xmax();
+  const size_t target = std::min(problem.task_count(), capacity);
+  while (assigned < target) {
+    bool progressed = false;
+    for (size_t q = 0; q < problem.worker_count() && assigned < target; ++q) {
+      TaskBundle& bundle = result.assignment.bundles[q];
+      if (bundle.size() >= problem.xmax()) continue;
+      double best_rel = -1.0;
+      size_t best_task = problem.task_count();
+      for (size_t t = 0; t < problem.task_count(); ++t) {
+        if (taken[t]) continue;
+        const double rel = problem.Relevance(static_cast<TaskIndex>(t),
+                                             static_cast<WorkerIndex>(q));
+        if (rel > best_rel) {
+          best_rel = rel;
+          best_task = t;
+        }
+      }
+      if (best_task == problem.task_count()) break;
+      taken[best_task] = true;
+      bundle.push_back(static_cast<TaskIndex>(best_task));
+      ++assigned;
+      progressed = true;
+    }
+    if (!progressed) break;
+  }
+  result.stats.motivation = TotalMotivation(problem, result.assignment);
+  result.stats.total_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+Result<HtaSolveResult> SolveWithStrategy(const HtaProblem& problem,
+                                         StrategyKind kind, uint64_t seed,
+                                         Rng* rng, SwapMode swap) {
+  switch (kind) {
+    case StrategyKind::kHtaGre: {
+      HtaSolverOptions options;
+      options.lsap = LsapMethod::kGreedy;
+      options.swap = swap;
+      options.seed = seed;
+      return SolveHta(problem, options);
+    }
+    case StrategyKind::kHtaGreDiv:
+      return SolveWithFixedWeights(problem, MotivationWeights::DiversityOnly(),
+                                   seed, swap);
+    case StrategyKind::kHtaGreRel:
+      return SolveWithFixedWeights(problem, MotivationWeights::RelevanceOnly(),
+                                   seed, swap);
+    case StrategyKind::kRandom: {
+      HTA_CHECK(rng != nullptr)
+          << "random strategy needs an Rng";
+      return SolveRandomAssignment(problem, rng);
+    }
+  }
+  return Status::InvalidArgument("unknown strategy");
+}
+
+}  // namespace hta

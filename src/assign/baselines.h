@@ -1,0 +1,57 @@
+#ifndef HTA_ASSIGN_BASELINES_H_
+#define HTA_ASSIGN_BASELINES_H_
+
+#include "assign/assignment.h"
+#include "assign/hta_solver.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace hta {
+
+/// The assignment strategies compared in the online deployment
+/// (Section V-C) plus a random control.
+enum class StrategyKind {
+  kHtaGre,      ///< Adaptive HTA-GRE: per-worker (alpha, beta) estimates.
+  kHtaGreDiv,   ///< HTA-GRE with alpha=1, beta=0 for everyone (diversity
+                ///< only, non-adaptive).
+  kHtaGreRel,   ///< HTA-GRE with alpha=0, beta=1 (relevance only,
+                ///< non-adaptive).
+  kRandom,      ///< Random feasible assignment (control).
+};
+
+/// Stable name ("hta-gre", "hta-gre-div", "hta-gre-rel", "random").
+std::string StrategyName(StrategyKind kind);
+
+/// Runs HTA-GRE after overriding every worker's weights to `weights`
+/// (the HTA-GRE-DIV / HTA-GRE-REL strategies). The input problem is not
+/// modified; workers are copied with replaced weights.
+Result<HtaSolveResult> SolveWithFixedWeights(
+    const HtaProblem& problem, MotivationWeights weights, uint64_t seed = 42,
+    SwapMode swap = SwapMode::kRandom);
+
+/// Uniform-random feasible assignment: tasks are shuffled and dealt
+/// round-robin up to Xmax each. Every returned assignment satisfies
+/// C1/C2.
+Result<HtaSolveResult> SolveRandomAssignment(const HtaProblem& problem,
+                                             Rng* rng);
+
+/// Relevance-greedy baseline (no diversity, no LSAP): workers take
+/// turns picking their most relevant remaining task until everyone has
+/// Xmax tasks or tasks run out. A natural "self-appointment" model of
+/// how workers pick tasks on AMT.
+Result<HtaSolveResult> SolveGreedyRelevance(const HtaProblem& problem);
+
+/// Dispatches a strategy: kHtaGre solves with the workers' own weights;
+/// the fixed strategies override them; kRandom uses `rng`. `swap`
+/// selects the pair-permutation step of Algorithm 1 Lines 12-16: the
+/// paper's randomized swap by default, or the derandomized best-of-two
+/// variant (used by the deployment service, where giving a worker a
+/// strictly better bundle is always preferable).
+Result<HtaSolveResult> SolveWithStrategy(const HtaProblem& problem,
+                                         StrategyKind kind, uint64_t seed,
+                                         Rng* rng,
+                                         SwapMode swap = SwapMode::kRandom);
+
+}  // namespace hta
+
+#endif  // HTA_ASSIGN_BASELINES_H_

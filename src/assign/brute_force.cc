@@ -1,0 +1,66 @@
+#include "assign/brute_force.h"
+
+#include <string>
+
+namespace hta {
+
+namespace {
+
+struct SearchState {
+  const HtaProblem* problem;
+  Assignment current;
+  Assignment best;
+  double best_motivation;
+};
+
+/// Assigns task `k` to each worker with spare capacity (or leaves it
+/// unassigned) and recurses. The objective is evaluated only at the
+/// leaves; instance sizes are tiny by contract.
+void Search(SearchState* state, size_t k) {
+  const HtaProblem& problem = *state->problem;
+  if (k == problem.task_count()) {
+    const double m = TotalMotivation(problem, state->current);
+    if (m > state->best_motivation) {
+      state->best_motivation = m;
+      state->best = state->current;
+    }
+    return;
+  }
+  // Option 1: leave task k unassigned.
+  Search(state, k + 1);
+  // Option 2: give it to each worker with room.
+  for (size_t q = 0; q < problem.worker_count(); ++q) {
+    TaskBundle& bundle = state->current.bundles[q];
+    if (bundle.size() >= problem.xmax()) continue;
+    bundle.push_back(static_cast<TaskIndex>(k));
+    Search(state, k + 1);
+    bundle.pop_back();
+  }
+}
+
+}  // namespace
+
+Result<BruteForceResult> SolveHtaBruteForce(const HtaProblem& problem) {
+  constexpr size_t kMaxTasks = 12;
+  constexpr size_t kMaxWorkers = 4;
+  if (problem.task_count() > kMaxTasks ||
+      problem.worker_count() > kMaxWorkers) {
+    return Status::InvalidArgument(
+        "brute force limited to " + std::to_string(kMaxTasks) + " tasks / " +
+        std::to_string(kMaxWorkers) + " workers; got " +
+        std::to_string(problem.task_count()) + " / " +
+        std::to_string(problem.worker_count()));
+  }
+  SearchState state;
+  state.problem = &problem;
+  state.current.bundles.assign(problem.worker_count(), {});
+  state.best = state.current;
+  state.best_motivation = 0.0;
+  Search(&state, 0);
+  BruteForceResult result;
+  result.assignment = std::move(state.best);
+  result.motivation = state.best_motivation;
+  return result;
+}
+
+}  // namespace hta

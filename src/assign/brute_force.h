@@ -1,0 +1,26 @@
+#ifndef HTA_ASSIGN_BRUTE_FORCE_H_
+#define HTA_ASSIGN_BRUTE_FORCE_H_
+
+#include "assign/assignment.h"
+#include "util/result.h"
+
+namespace hta {
+
+/// Exact HTA solver by exhaustive enumeration: every task is tried in
+/// every worker's bundle (capped at Xmax) and unassigned. Exponential —
+/// (|W| + 1)^|T| states — so it refuses instances with more than ~12
+/// tasks or 4 workers. Used by property tests to certify the
+/// approximation factors of HTA-APP / HTA-GRE, and by the worked
+/// example.
+///
+/// Returns the optimal assignment and its motivation value.
+struct BruteForceResult {
+  Assignment assignment;
+  double motivation = 0.0;
+};
+
+Result<BruteForceResult> SolveHtaBruteForce(const HtaProblem& problem);
+
+}  // namespace hta
+
+#endif  // HTA_ASSIGN_BRUTE_FORCE_H_

@@ -1,0 +1,272 @@
+#include "assign/hta_solver.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "matching/lsap.h"
+#include "matching/max_weight_matching.h"
+#include "util/timer.h"
+
+namespace hta {
+
+namespace {
+
+/// Builds the edge list of the task-diversity graph B (real tasks only;
+/// padding vertices have zero weight to everything and can never enter
+/// a maximum-weight matching built from positive edges).
+std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d) {
+  const size_t n = d.task_count();
+  std::vector<WeightedEdge> edges;
+  if (n >= 2) edges.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const float w = static_cast<float>(
+          d(static_cast<TaskIndex>(i), static_cast<TaskIndex>(j)));
+      if (w > 0.0f) {
+        edges.push_back(
+            WeightedEdge{static_cast<VertexId>(i), static_cast<VertexId>(j), w});
+      }
+    }
+  }
+  return edges;
+}
+
+/// The auxiliary LSAP profit f_{k,l} = bM(t_k) * degA_l + c_{k,l}
+/// (Algorithm 1, Line 10), evaluated on the fly.
+class AuxiliaryProfit {
+ public:
+  AuxiliaryProfit(const QapView* view, const std::vector<double>* bm)
+      : view_(view), bm_(bm) {}
+
+  double operator()(size_t k, size_t l) const {
+    return (*bm_)[k] * view_->DegA(l) + view_->C(k, l);
+  }
+
+ private:
+  const QapView* view_;
+  const std::vector<double>* bm_;
+};
+
+/// Tracks clique membership during the best-of-two swap pass so that
+/// objective deltas are O(Xmax) per candidate swap.
+class CliqueMembership {
+ public:
+  CliqueMembership(const QapView& view, const std::vector<int32_t>& perm)
+      : members_(view.problem().worker_count()) {
+    for (size_t k = 0; k < perm.size(); ++k) {
+      const int32_t q = view.WorkerOfVertex(static_cast<size_t>(perm[k]));
+      if (q >= 0) members_[static_cast<size_t>(q)].push_back(k);
+    }
+  }
+
+  const std::vector<size_t>& Members(int32_t q) const {
+    return members_[static_cast<size_t>(q)];
+  }
+
+  void Move(size_t task_out, size_t task_in, int32_t q) {
+    if (q < 0) return;
+    auto& m = members_[static_cast<size_t>(q)];
+    auto it = std::find(m.begin(), m.end(), task_out);
+    HTA_DCHECK(it != m.end());
+    *it = task_in;
+  }
+
+ private:
+  std::vector<std::vector<size_t>> members_;
+};
+
+/// Objective change from exchanging the vertices of tasks u and v
+/// (perm[u] <-> perm[v]).
+double SwapDelta(const QapView& view, const CliqueMembership& cliques,
+                 const std::vector<int32_t>& perm, size_t u, size_t v) {
+  const size_t pu = static_cast<size_t>(perm[u]);
+  const size_t pv = static_cast<size_t>(perm[v]);
+  const int32_t qu = view.WorkerOfVertex(pu);
+  const int32_t qv = view.WorkerOfVertex(pv);
+  double delta = view.C(u, pv) + view.C(v, pu) - view.C(u, pu) -
+                 view.C(v, pv);
+  if (qu == qv) return delta;  // Same clique: quadratic part unchanged.
+  const auto& workers = view.problem().workers();
+  if (qu >= 0) {
+    const double alpha = workers[static_cast<size_t>(qu)].weights().alpha;
+    double gain = 0.0;
+    for (size_t m : cliques.Members(qu)) {
+      if (m == u) continue;
+      gain += view.B(v, m) - view.B(u, m);
+    }
+    delta += 2.0 * alpha * gain;
+  }
+  if (qv >= 0) {
+    const double alpha = workers[static_cast<size_t>(qv)].weights().alpha;
+    double gain = 0.0;
+    for (size_t m : cliques.Members(qv)) {
+      if (m == v) continue;
+      gain += view.B(u, m) - view.B(v, m);
+    }
+    delta += 2.0 * alpha * gain;
+  }
+  return delta;
+}
+
+}  // namespace
+
+Assignment ExtractAssignment(const QapView& view,
+                             const std::vector<int32_t>& perm) {
+  HTA_CHECK_EQ(perm.size(), view.n());
+  Assignment assignment;
+  assignment.bundles.assign(view.problem().worker_count(), {});
+  for (size_t k = 0; k < view.task_count(); ++k) {
+    const int32_t q = view.WorkerOfVertex(static_cast<size_t>(perm[k]));
+    if (q >= 0) {
+      assignment.bundles[static_cast<size_t>(q)].push_back(
+          static_cast<TaskIndex>(k));
+    }
+  }
+  return assignment;
+}
+
+Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
+                                const HtaSolverOptions& options) {
+  WallTimer total_timer;
+  const QapView view(&problem);
+  const size_t n = view.n();
+
+  // Phase 1 (Line 2): maximum-weight matching M_B over task diversity.
+  WallTimer phase_timer;
+  std::vector<WeightedEdge> edges = BuildDiversityEdges(problem.oracle());
+  GraphMatching mb;
+  switch (options.matching) {
+    case MatchingMethod::kGreedy:
+      mb = GreedyMaxWeightMatching(n, std::move(edges));
+      break;
+    case MatchingMethod::kPathGrowing:
+      mb = PathGrowingMatching(n, edges);
+      break;
+  }
+  HtaSolveStats stats;
+  stats.matching_seconds = phase_timer.ElapsedSeconds();
+  stats.matched_pairs = mb.edges.size();
+
+  // Lines 3-8: bM(t_k) = weight of the M_B edge covering t_k, else 0.
+  std::vector<double> bm(n, 0.0);
+  for (const auto& [u, v] : mb.edges) {
+    const double w =
+        problem.oracle()(static_cast<TaskIndex>(u), static_cast<TaskIndex>(v));
+    bm[u] = w;
+    bm[v] = w;
+  }
+
+  // Lines 9-11: the auxiliary LSAP.
+  phase_timer.Restart();
+  const AuxiliaryProfit profit(&view, &bm);
+  LsapSolution lsap;
+  switch (options.lsap) {
+    case LsapMethod::kExactJv:
+      lsap = SolveLsapJv(n, profit);
+      break;
+    case LsapMethod::kGreedy: {
+      const std::vector<size_t> worker_cols = view.WorkerColumns();
+      lsap = SolveLsapGreedy(n, profit, &worker_cols);
+      break;
+    }
+    case LsapMethod::kExactStructured: {
+      const std::vector<size_t> worker_cols = view.WorkerColumns();
+      lsap = SolveLsapStructured(n, profit, worker_cols);
+      break;
+    }
+  }
+  stats.lsap_seconds = phase_timer.ElapsedSeconds();
+
+  // Optimality certificate (Theorem 4 / Eq. 18): the HTA optimum is at
+  // most twice the optimal auxiliary-LSAP profit; a greedy LSAP profit
+  // is within a factor 2 of that optimum.
+  const double bound_factor =
+      options.lsap == LsapMethod::kGreedy ? 4.0 : 2.0;
+  stats.optimum_upper_bound = bound_factor * lsap.profit;
+
+  // Lines 12-16: permute matched pairs.
+  std::vector<int32_t> perm = std::move(lsap.row_to_col);
+  Rng rng(options.seed);
+  switch (options.swap) {
+    case SwapMode::kNone:
+      break;
+    case SwapMode::kRandom:
+      for (const auto& [u, v] : mb.edges) {
+        if (rng.NextBool(0.5)) std::swap(perm[u], perm[v]);
+      }
+      break;
+    case SwapMode::kBestOfTwo: {
+      CliqueMembership cliques(view, perm);
+      for (const auto& [u, v] : mb.edges) {
+        if (SwapDelta(view, cliques, perm, u, v) > 0.0) {
+          const int32_t qu = view.WorkerOfVertex(static_cast<size_t>(perm[u]));
+          const int32_t qv = view.WorkerOfVertex(static_cast<size_t>(perm[v]));
+          if (qu != qv) {
+            cliques.Move(u, v, qu);
+            cliques.Move(v, u, qv);
+          }
+          std::swap(perm[u], perm[v]);
+        }
+      }
+      break;
+    }
+  }
+
+  // Lines 17-18 (Eq. 7): back to per-worker bundles.
+  HtaSolveResult result;
+  result.assignment = ExtractAssignment(view, perm);
+  stats.qap_objective = view.Objective(perm);
+  stats.motivation = TotalMotivation(problem, result.assignment);
+  stats.certified_ratio = stats.optimum_upper_bound > 0.0
+                              ? stats.qap_objective /
+                                    stats.optimum_upper_bound
+                              : 1.0;
+  stats.total_seconds = total_timer.ElapsedSeconds();
+  result.stats = stats;
+
+  HTA_DCHECK(ValidateAssignment(problem, result.assignment).ok());
+  return result;
+}
+
+Result<HtaSolveResult> SolveHtaApp(const HtaProblem& problem, uint64_t seed) {
+  HtaSolverOptions options;
+  options.lsap = LsapMethod::kExactJv;
+  options.seed = seed;
+  return SolveHta(problem, options);
+}
+
+Result<HtaSolveResult> SolveHtaGre(const HtaProblem& problem, uint64_t seed) {
+  HtaSolverOptions options;
+  options.lsap = LsapMethod::kGreedy;
+  options.seed = seed;
+  return SolveHta(problem, options);
+}
+
+std::string SolverName(const HtaSolverOptions& options) {
+  std::string name;
+  switch (options.lsap) {
+    case LsapMethod::kExactJv:
+      name = "hta-app";
+      break;
+    case LsapMethod::kGreedy:
+      name = "hta-gre";
+      break;
+    case LsapMethod::kExactStructured:
+      name = "hta-app+rect";
+      break;
+  }
+  if (options.matching == MatchingMethod::kPathGrowing) name += "+pg";
+  switch (options.swap) {
+    case SwapMode::kRandom:
+      break;
+    case SwapMode::kBestOfTwo:
+      name += "+best2";
+      break;
+    case SwapMode::kNone:
+      name += "+noswap";
+      break;
+  }
+  return name;
+}
+
+}  // namespace hta

@@ -1,0 +1,104 @@
+#ifndef HTA_ASSIGN_HTA_SOLVER_H_
+#define HTA_ASSIGN_HTA_SOLVER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "assign/assignment.h"
+#include "qap/qap_view.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace hta {
+
+/// Which LSAP solver runs in the second phase (Algorithm 1/2, Line 11).
+enum class LsapMethod {
+  kExactJv,          ///< Jonker-Volgenant exact solve: HTA-APP (1/4-approx).
+  kGreedy,           ///< Greedy bipartite matching: HTA-GRE (1/8-approx).
+  kExactStructured,  ///< Rectangular exact solve over the profitable
+                     ///< (worker-clique) columns only — same optimum and
+                     ///< approximation factor as kExactJv, but O(m^2 n)
+                     ///< for m = |W| * Xmax instead of O(n^3). An
+                     ///< extension beyond the paper (ablation A6).
+};
+
+/// Which matching algorithm builds M_B (Line 2). Both are
+/// 1/2-approximations, which Eq. 9/10 require.
+enum class MatchingMethod {
+  kGreedy,       ///< Sorted-edge greedy (the paper's choice).
+  kPathGrowing,  ///< Drake-Hougardy path growing (ablation A3).
+};
+
+/// How matched pairs are permuted after the LSAP solve (Lines 12-16).
+enum class SwapMode {
+  kRandom,     ///< Flip each matched pair with probability 1/2 (paper).
+  kBestOfTwo,  ///< Derandomized: evaluate both orientations of each
+               ///< pair and keep the better one (extension, >= expected
+               ///< value of kRandom per pair).
+  kNone,       ///< Keep the LSAP permutation as-is (ablation A2).
+};
+
+/// Solver configuration. Defaults reproduce HTA-GRE, the paper's
+/// recommended algorithm.
+struct HtaSolverOptions {
+  LsapMethod lsap = LsapMethod::kGreedy;
+  MatchingMethod matching = MatchingMethod::kGreedy;
+  SwapMode swap = SwapMode::kRandom;
+  uint64_t seed = 42;
+};
+
+/// Phase timings and objective diagnostics for one solve — these feed
+/// the Fig. 2a phase breakdown directly.
+struct HtaSolveStats {
+  double matching_seconds = 0.0;  ///< Building M_B (Line 2).
+  double lsap_seconds = 0.0;      ///< Auxiliary LSAP (Lines 3-11).
+  double total_seconds = 0.0;     ///< Whole solve, including extraction.
+  double qap_objective = 0.0;     ///< Eq. 8 value of the final permutation.
+  double motivation = 0.0;        ///< Eq. 3 objective of the assignment.
+  size_t matched_pairs = 0;       ///< |M_B|.
+  /// A certified upper bound on the instance's optimum, from the
+  /// Theorem 4 analysis: OPT <= 2 * (optimal LSAP profit), and the
+  /// greedy LSAP profit is within 1/2 of optimal, so
+  ///   OPT <= 2 * lsap_profit   (exact solvers)
+  ///   OPT <= 4 * lsap_profit   (greedy solver).
+  double optimum_upper_bound = 0.0;
+  /// qap_objective / optimum_upper_bound — a per-instance *certificate*
+  /// that this solve achieved at least this fraction of the true
+  /// optimum (typically far above the worst-case 1/4 and 1/8 factors).
+  double certified_ratio = 0.0;
+};
+
+/// A solved instance: feasible assignment plus diagnostics.
+struct HtaSolveResult {
+  Assignment assignment;
+  HtaSolveStats stats;
+};
+
+/// Solves one HTA iteration with the configured algorithm. The returned
+/// assignment always satisfies C1 and C2 (also enforced by a debug-mode
+/// validation).
+Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
+                                const HtaSolverOptions& options);
+
+/// HTA-APP (Algorithm 1): exact LSAP via Jonker-Volgenant. O(|T|^3),
+/// 1/4-approximation.
+Result<HtaSolveResult> SolveHtaApp(const HtaProblem& problem,
+                                   uint64_t seed = 42);
+
+/// HTA-GRE (Algorithm 2): greedy LSAP. O(|T|^2 log |T|),
+/// 1/8-approximation.
+Result<HtaSolveResult> SolveHtaGre(const HtaProblem& problem,
+                                   uint64_t seed = 42);
+
+/// Converts a QAP permutation (task k -> vertex pi(k)) into bundles via
+/// Eq. 7, dropping padding tasks. Exposed for tests and the worked
+/// example.
+Assignment ExtractAssignment(const QapView& view,
+                             const std::vector<int32_t>& perm);
+
+/// Human-readable algorithm label for tables ("hta-app", "hta-gre", ...).
+std::string SolverName(const HtaSolverOptions& options);
+
+}  // namespace hta
+
+#endif  // HTA_ASSIGN_HTA_SOLVER_H_

@@ -1,0 +1,147 @@
+#include "assign/local_search.h"
+
+#include <algorithm>
+
+namespace hta {
+
+namespace {
+
+/// Objective change from replacing bundle member `out` (at position
+/// `pos`) with task `in`, holding bundle size fixed.
+double ReplaceDelta(const HtaProblem& problem, const TaskBundle& bundle,
+                    size_t pos, TaskIndex in, WorkerIndex worker) {
+  const TaskIndex out = bundle[pos];
+  const Worker& w = problem.workers()[worker];
+  const TaskDistanceOracle& d = problem.oracle();
+  double diversity_delta = 0.0;
+  for (size_t m = 0; m < bundle.size(); ++m) {
+    if (m == pos) continue;
+    diversity_delta += d(in, bundle[m]) - d(out, bundle[m]);
+  }
+  const double relevance_delta =
+      problem.Relevance(in, worker) - problem.Relevance(out, worker);
+  const double size_minus_one = static_cast<double>(bundle.size()) - 1.0;
+  return 2.0 * w.weights().alpha * diversity_delta +
+         w.weights().beta * size_minus_one * relevance_delta;
+}
+
+/// Objective change from appending `in` to the bundle (size grows, so
+/// the (|T'| - 1) relevance normalizer changes for every member:
+/// recompute the bundle's motivation directly).
+double InsertDelta(const HtaProblem& problem, const TaskBundle& bundle,
+                   TaskIndex in, WorkerIndex worker) {
+  const Worker& w = problem.workers()[worker];
+  const double before = Motivation(bundle, w, problem.oracle());
+  TaskBundle grown = bundle;
+  grown.push_back(in);
+  const double after = Motivation(grown, w, problem.oracle());
+  return after - before;
+}
+
+}  // namespace
+
+Result<LocalSearchResult> ImproveAssignment(
+    const HtaProblem& problem, const Assignment& initial,
+    const LocalSearchOptions& options) {
+  HTA_RETURN_IF_ERROR(ValidateAssignment(problem, initial));
+
+  LocalSearchResult result;
+  result.assignment = initial;
+  result.initial_motivation = TotalMotivation(problem, initial);
+
+  std::vector<bool> assigned(problem.task_count(), false);
+  for (const TaskBundle& b : result.assignment.bundles) {
+    for (TaskIndex t : b) assigned[t] = true;
+  }
+  std::vector<TaskIndex> unassigned;
+  for (size_t t = 0; t < problem.task_count(); ++t) {
+    if (!assigned[t]) unassigned.push_back(static_cast<TaskIndex>(t));
+  }
+
+  const size_t worker_count = problem.worker_count();
+  for (result.passes = 0; result.passes < options.max_passes;
+       ++result.passes) {
+    bool improved_this_pass = false;
+
+    // Replace: assigned <-> unassigned, per worker.
+    if (options.enable_replace) {
+      for (WorkerIndex q = 0; q < worker_count; ++q) {
+        TaskBundle& bundle = result.assignment.bundles[q];
+        for (size_t pos = 0; pos < bundle.size(); ++pos) {
+          for (size_t u = 0; u < unassigned.size(); ++u) {
+            const double delta =
+                ReplaceDelta(problem, bundle, pos, unassigned[u], q);
+            if (delta > 1e-12) {
+              std::swap(bundle[pos], unassigned[u]);
+              ++result.improving_moves;
+              improved_this_pass = true;
+            }
+          }
+        }
+      }
+    }
+
+    // Exchange: swap members between two bundles.
+    if (options.enable_exchange) {
+      for (WorkerIndex q1 = 0; q1 < worker_count; ++q1) {
+        for (WorkerIndex q2 = static_cast<WorkerIndex>(q1 + 1);
+             q2 < worker_count; ++q2) {
+          TaskBundle& b1 = result.assignment.bundles[q1];
+          TaskBundle& b2 = result.assignment.bundles[q2];
+          for (size_t p1 = 0; p1 < b1.size(); ++p1) {
+            for (size_t p2 = 0; p2 < b2.size(); ++p2) {
+              const double delta =
+                  ReplaceDelta(problem, b1, p1, b2[p2], q1) +
+                  ReplaceDelta(problem, b2, p2, b1[p1], q2);
+              if (delta > 1e-12) {
+                std::swap(b1[p1], b2[p2]);
+                ++result.improving_moves;
+                improved_this_pass = true;
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Insert: grow under-capacity bundles from the unassigned pool.
+    // With non-negative diversity and relevance an insert never hurts
+    // (delta >= 0), so spare capacity is always filled; only strictly
+    // positive deltas count as improving moves.
+    if (options.enable_insert) {
+      for (WorkerIndex q = 0; q < worker_count; ++q) {
+        TaskBundle& bundle = result.assignment.bundles[q];
+        while (bundle.size() < problem.xmax() && !unassigned.empty()) {
+          double best_delta = -1.0;
+          size_t best_u = unassigned.size();
+          for (size_t u = 0; u < unassigned.size(); ++u) {
+            const double delta = InsertDelta(problem, bundle, unassigned[u], q);
+            if (delta > best_delta) {
+              best_delta = delta;
+              best_u = u;
+            }
+          }
+          if (best_u == unassigned.size() || best_delta < 0.0) break;
+          bundle.push_back(unassigned[best_u]);
+          unassigned[best_u] = unassigned.back();
+          unassigned.pop_back();
+          if (best_delta > 1e-12) {
+            ++result.improving_moves;
+            improved_this_pass = true;
+          }
+        }
+      }
+    }
+
+    if (!improved_this_pass) {
+      result.reached_local_optimum = true;
+      break;
+    }
+  }
+
+  result.motivation = TotalMotivation(problem, result.assignment);
+  HTA_DCHECK(ValidateAssignment(problem, result.assignment).ok());
+  return result;
+}
+
+}  // namespace hta

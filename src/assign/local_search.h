@@ -1,0 +1,48 @@
+#ifndef HTA_ASSIGN_LOCAL_SEARCH_H_
+#define HTA_ASSIGN_LOCAL_SEARCH_H_
+
+#include "assign/assignment.h"
+#include "util/result.h"
+
+namespace hta {
+
+/// Local-search refinement of a feasible HTA assignment (an extension
+/// beyond the paper): starting from any feasible assignment — typically
+/// HTA-GRE's — repeatedly apply improving moves until a local optimum
+/// or the pass budget is reached. Never decreases the objective, always
+/// preserves feasibility (C1/C2), so approximation guarantees of the
+/// seed assignment carry over.
+///
+/// Move neighborhood:
+///  * replace  — swap an assigned task with an unassigned one (same
+///               bundle position);
+///  * exchange — swap two tasks between two workers' bundles;
+///  * insert   — append an unassigned task to a bundle with spare
+///               capacity.
+struct LocalSearchOptions {
+  /// Full passes over the neighborhood before giving up (each pass is
+  /// first-improvement, deterministic order).
+  size_t max_passes = 8;
+  bool enable_replace = true;
+  bool enable_exchange = true;
+  bool enable_insert = true;
+};
+
+struct LocalSearchResult {
+  Assignment assignment;
+  double motivation = 0.0;       ///< Eq. 3 objective after refinement.
+  double initial_motivation = 0.0;
+  size_t improving_moves = 0;
+  size_t passes = 0;             ///< Passes actually executed.
+  bool reached_local_optimum = false;
+};
+
+/// Refines `initial` for `problem`. Fails with the validator's error if
+/// the initial assignment is infeasible.
+Result<LocalSearchResult> ImproveAssignment(const HtaProblem& problem,
+                                            const Assignment& initial,
+                                            const LocalSearchOptions& options);
+
+}  // namespace hta
+
+#endif  // HTA_ASSIGN_LOCAL_SEARCH_H_

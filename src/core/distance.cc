@@ -1,0 +1,93 @@
+#include "core/distance.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hta {
+
+std::string DistanceKindName(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kJaccard:
+      return "jaccard";
+    case DistanceKind::kDice:
+      return "dice";
+    case DistanceKind::kHamming:
+      return "hamming";
+    case DistanceKind::kCosineAngular:
+      return "cosine-angular";
+  }
+  return "unknown";
+}
+
+bool IsMetric(DistanceKind kind) {
+  switch (kind) {
+    case DistanceKind::kJaccard:
+    case DistanceKind::kHamming:
+    case DistanceKind::kCosineAngular:
+      return true;
+    case DistanceKind::kDice:
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+double JaccardDistance(const KeywordVector& a, const KeywordVector& b) {
+  const size_t uni = KeywordVector::UnionCount(a, b);
+  if (uni == 0) return 0.0;  // Both empty: identical.
+  const size_t inter = KeywordVector::IntersectionCount(a, b);
+  return 1.0 -
+         static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double DiceDistance(const KeywordVector& a, const KeywordVector& b) {
+  const size_t ca = a.Count();
+  const size_t cb = b.Count();
+  if (ca + cb == 0) return 0.0;
+  const size_t inter = KeywordVector::IntersectionCount(a, b);
+  return 1.0 - 2.0 * static_cast<double>(inter) /
+                   static_cast<double>(ca + cb);
+}
+
+double HammingDistance(const KeywordVector& a, const KeywordVector& b) {
+  if (a.universe_size() == 0) return 0.0;
+  return static_cast<double>(KeywordVector::SymmetricDifferenceCount(a, b)) /
+         static_cast<double>(a.universe_size());
+}
+
+double CosineAngularDistance(const KeywordVector& a, const KeywordVector& b) {
+  const size_t ca = a.Count();
+  const size_t cb = b.Count();
+  if (ca == 0 && cb == 0) return 0.0;
+  if (ca == 0 || cb == 0) return 1.0;  // Orthogonal to everything.
+  const size_t inter = KeywordVector::IntersectionCount(a, b);
+  const double cosine = static_cast<double>(inter) /
+                        std::sqrt(static_cast<double>(ca) *
+                                  static_cast<double>(cb));
+  // Binary vectors have cosine in [0, 1]; the angle lies in [0, pi/2].
+  // Normalizing by pi/2 maps the angular metric to [0, 1].
+  const double clamped = std::clamp(cosine, 0.0, 1.0);
+  constexpr double kHalfPi = 1.5707963267948966;
+  return std::acos(clamped) / kHalfPi;
+}
+
+}  // namespace
+
+double VectorDistance(DistanceKind kind, const KeywordVector& a,
+                      const KeywordVector& b) {
+  HTA_DCHECK_EQ(a.universe_size(), b.universe_size());
+  switch (kind) {
+    case DistanceKind::kJaccard:
+      return JaccardDistance(a, b);
+    case DistanceKind::kDice:
+      return DiceDistance(a, b);
+    case DistanceKind::kHamming:
+      return HammingDistance(a, b);
+    case DistanceKind::kCosineAngular:
+      return CosineAngularDistance(a, b);
+  }
+  return 0.0;
+}
+
+}  // namespace hta

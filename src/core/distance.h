@@ -1,0 +1,55 @@
+#ifndef HTA_CORE_DISTANCE_H_
+#define HTA_CORE_DISTANCE_H_
+
+#include <string>
+
+#include "core/keyword_vector.h"
+#include "core/task.h"
+#include "core/worker.h"
+
+namespace hta {
+
+/// Distance functions between Boolean keyword vectors.
+///
+/// The paper uses Jaccard for both pairwise task diversity d(t_k, t_l)
+/// and the relevance distance d_rel(t, w), and the approximation
+/// guarantees of HTA-APP / HTA-GRE require d() to satisfy the triangle
+/// inequality. Jaccard, normalized Hamming, and angular-cosine are
+/// metrics; Dice (Sorensen) is provided for ablation precisely because
+/// it is NOT a metric — tests and the metric ablation bench demonstrate
+/// the difference.
+enum class DistanceKind {
+  kJaccard,
+  kDice,
+  kHamming,
+  kCosineAngular,
+};
+
+/// Stable name ("jaccard", "dice", ...).
+std::string DistanceKindName(DistanceKind kind);
+
+/// True iff the distance satisfies the metric axioms (in particular the
+/// triangle inequality) on Boolean vectors.
+bool IsMetric(DistanceKind kind);
+
+/// Distance in [0, 1] between two Boolean vectors of the same universe.
+/// Two empty vectors are at distance 0 for all kinds.
+double VectorDistance(DistanceKind kind, const KeywordVector& a,
+                      const KeywordVector& b);
+
+/// Pairwise task diversity d(t_k, t_l) = 1 - J(t_k, t_l) (Section II),
+/// generalized over the selected distance kind.
+inline double PairwiseTaskDiversity(DistanceKind kind, const Task& a,
+                                    const Task& b) {
+  return VectorDistance(kind, a.keywords(), b.keywords());
+}
+
+/// Task relevance rel(t, w) = 1 - d_rel(t, w) (Section II).
+inline double TaskRelevance(DistanceKind kind, const Task& task,
+                            const Worker& worker) {
+  return 1.0 - VectorDistance(kind, task.keywords(), worker.interests());
+}
+
+}  // namespace hta
+
+#endif  // HTA_CORE_DISTANCE_H_

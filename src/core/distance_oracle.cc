@@ -1,0 +1,72 @@
+#include "core/distance_oracle.h"
+
+#include <string>
+
+namespace hta {
+
+TaskDistanceOracle::TaskDistanceOracle(const std::vector<Task>* tasks,
+                                       DistanceKind kind)
+    : tasks_(tasks), kind_(kind) {
+  HTA_CHECK(tasks != nullptr);
+}
+
+Result<TaskDistanceOracle> TaskDistanceOracle::Precomputed(
+    const std::vector<Task>* tasks, DistanceKind kind,
+    size_t max_cache_bytes) {
+  HTA_CHECK(tasks != nullptr);
+  const size_t n = tasks->size();
+  const size_t pairs = n * (n - 1) / 2;
+  if (pairs * sizeof(float) > max_cache_bytes) {
+    return Status::ResourceExhausted(
+        "precomputed distance cache for " + std::to_string(n) +
+        " tasks needs " + std::to_string(pairs * sizeof(float)) +
+        " bytes > limit " + std::to_string(max_cache_bytes));
+  }
+  TaskDistanceOracle oracle(tasks, kind);
+  oracle.cache_.resize(pairs);
+  size_t at = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      oracle.cache_[at++] = static_cast<float>(
+          PairwiseTaskDiversity(kind, (*tasks)[i], (*tasks)[j]));
+    }
+  }
+  return oracle;
+}
+
+Result<TaskDistanceOracle> TaskDistanceOracle::FromDenseMatrix(
+    const std::vector<Task>* tasks, DistanceKind kind,
+    const std::vector<double>& matrix) {
+  HTA_CHECK(tasks != nullptr);
+  const size_t n = tasks->size();
+  if (matrix.size() != n * n) {
+    return Status::InvalidArgument(
+        "distance matrix must be |T| x |T| = " + std::to_string(n * n) +
+        " entries, got " + std::to_string(matrix.size()));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (matrix[i * n + i] != 0.0) {
+      return Status::InvalidArgument("distance matrix diagonal must be zero");
+    }
+    for (size_t j = i + 1; j < n; ++j) {
+      if (matrix[i * n + j] != matrix[j * n + i]) {
+        return Status::InvalidArgument("distance matrix must be symmetric");
+      }
+      if (matrix[i * n + j] < 0.0) {
+        return Status::InvalidArgument(
+            "distance matrix entries must be non-negative");
+      }
+    }
+  }
+  TaskDistanceOracle oracle(tasks, kind);
+  oracle.cache_.resize(n >= 2 ? n * (n - 1) / 2 : 0);
+  size_t at = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      oracle.cache_[at++] = static_cast<float>(matrix[i * n + j]);
+    }
+  }
+  return oracle;
+}
+
+}  // namespace hta

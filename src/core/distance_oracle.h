@@ -1,0 +1,79 @@
+#ifndef HTA_CORE_DISTANCE_ORACLE_H_
+#define HTA_CORE_DISTANCE_ORACLE_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/task.h"
+#include "util/result.h"
+
+namespace hta {
+
+/// Answers pairwise-task-diversity queries d(t_k, t_l) over a fixed task
+/// set — the (implicit) matrix B of the MAXQAP mapping (Eq. 5).
+///
+/// Two modes:
+///  * on-the-fly  — each query recomputes the distance (O(R/64) popcounts);
+///                  zero memory, right choice for |T| in the thousands.
+///  * precomputed — a packed upper-triangular float cache, built once in
+///                  O(|T|^2); right choice when the same pair is hit many
+///                  times (brute-force solver, repeated objective evals).
+///
+/// The oracle pins the DistanceKind so every component of one experiment
+/// agrees on the metric.
+class TaskDistanceOracle {
+ public:
+  /// On-the-fly oracle over `tasks` (not owned; must outlive the oracle).
+  TaskDistanceOracle(const std::vector<Task>* tasks, DistanceKind kind);
+
+  /// Builds a precomputed oracle. Fails with ResourceExhausted if the
+  /// triangular cache would exceed `max_cache_bytes`.
+  static Result<TaskDistanceOracle> Precomputed(
+      const std::vector<Task>* tasks, DistanceKind kind,
+      size_t max_cache_bytes = size_t{4} << 30);
+
+  /// Builds an oracle from an explicit dense row-major |T| x |T|
+  /// distance matrix instead of computing distances from keywords. The
+  /// paper allows d() to be any metric; this entry point lets callers
+  /// plug externally-defined distances (it also reproduces the paper's
+  /// worked example, whose Table I values are given, not derived).
+  /// Fails unless the matrix is symmetric with a zero diagonal and
+  /// non-negative entries. `kind` is recorded for the relevance side.
+  static Result<TaskDistanceOracle> FromDenseMatrix(
+      const std::vector<Task>* tasks, DistanceKind kind,
+      const std::vector<double>& matrix);
+
+  /// d(t_i, t_j). Requires i, j < task_count(). d(i, i) == 0.
+  double operator()(TaskIndex i, TaskIndex j) const {
+    if (i == j) return 0.0;
+    if (!cache_.empty()) {
+      return cache_[TriIndex(i, j)];
+    }
+    return PairwiseTaskDiversity(kind_, (*tasks_)[i], (*tasks_)[j]);
+  }
+
+  size_t task_count() const { return tasks_->size(); }
+  DistanceKind kind() const { return kind_; }
+  bool is_precomputed() const { return !cache_.empty(); }
+  const std::vector<Task>& tasks() const { return *tasks_; }
+
+ private:
+  /// Packed index into the strict upper triangle (i < j).
+  size_t TriIndex(TaskIndex i, TaskIndex j) const {
+    if (i > j) std::swap(i, j);
+    const size_t n = tasks_->size();
+    const size_t si = i;
+    const size_t sj = j;
+    // Row i starts after all previous rows: i*n - i*(i+1)/2, offset j-i-1.
+    return si * n - si * (si + 1) / 2 + (sj - si - 1);
+  }
+
+  const std::vector<Task>* tasks_;
+  DistanceKind kind_;
+  std::vector<float> cache_;  // Empty in on-the-fly mode.
+};
+
+}  // namespace hta
+
+#endif  // HTA_CORE_DISTANCE_ORACLE_H_

@@ -1,0 +1,33 @@
+#include "core/keyword_space.h"
+
+#include "util/check.h"
+
+namespace hta {
+
+KeywordId KeywordSpace::Intern(std::string_view keyword) {
+  auto it = index_.find(std::string(keyword));
+  if (it != index_.end()) return it->second;
+  const KeywordId id = static_cast<KeywordId>(names_.size());
+  names_.emplace_back(keyword);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+Result<KeywordId> KeywordSpace::Find(std::string_view keyword) const {
+  auto it = index_.find(std::string(keyword));
+  if (it == index_.end()) {
+    return Status::NotFound("keyword not interned: " + std::string(keyword));
+  }
+  return it->second;
+}
+
+bool KeywordSpace::Contains(std::string_view keyword) const {
+  return index_.find(std::string(keyword)) != index_.end();
+}
+
+const std::string& KeywordSpace::Name(KeywordId id) const {
+  HTA_CHECK_LT(static_cast<size_t>(id), names_.size());
+  return names_[id];
+}
+
+}  // namespace hta

@@ -1,0 +1,52 @@
+#ifndef HTA_CORE_KEYWORD_SPACE_H_
+#define HTA_CORE_KEYWORD_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace hta {
+
+/// Identifier of an interned keyword. Dense: ids are assigned 0, 1, ...
+/// in interning order.
+using KeywordId = uint32_t;
+
+/// The keyword dictionary S = {s_1, ..., s_R} of Section II.
+///
+/// Tasks and workers are Boolean vectors over this space; interning
+/// keyword strings once lets every vector be a compact bitset and every
+/// distance computation a handful of popcounts.
+///
+/// Not thread-safe for concurrent interning; build the space up front,
+/// then share it read-only.
+class KeywordSpace {
+ public:
+  KeywordSpace() = default;
+
+  /// Returns the id of `keyword`, interning it if new.
+  KeywordId Intern(std::string_view keyword);
+
+  /// Returns the id of an already-interned keyword, or NotFound.
+  Result<KeywordId> Find(std::string_view keyword) const;
+
+  /// True iff the keyword has been interned.
+  bool Contains(std::string_view keyword) const;
+
+  /// The string for an id. Requires id < size().
+  const std::string& Name(KeywordId id) const;
+
+  /// Number of interned keywords (the dimensionality R).
+  size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, KeywordId> index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace hta
+
+#endif  // HTA_CORE_KEYWORD_SPACE_H_

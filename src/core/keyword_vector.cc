@@ -1,0 +1,30 @@
+#include "core/keyword_vector.h"
+
+namespace hta {
+
+std::vector<KeywordId> KeywordVector::ToIds() const {
+  std::vector<KeywordId> ids;
+  for (size_t block = 0; block < blocks_.size(); ++block) {
+    uint64_t bits = blocks_[block];
+    while (bits != 0) {
+      const int bit = std::countr_zero(bits);
+      ids.push_back(static_cast<KeywordId>(block * 64 + bit));
+      bits &= bits - 1;
+    }
+  }
+  return ids;
+}
+
+std::string KeywordVector::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  for (KeywordId id : ToIds()) {
+    if (!first) out += ", ";
+    out += std::to_string(id);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace hta

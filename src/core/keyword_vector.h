@@ -1,0 +1,122 @@
+#ifndef HTA_CORE_KEYWORD_VECTOR_H_
+#define HTA_CORE_KEYWORD_VECTOR_H_
+
+#include <bit>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/keyword_space.h"
+#include "util/check.h"
+
+namespace hta {
+
+/// A Boolean vector <t(s_1), ..., t(s_R)> over a keyword space
+/// (Section II), stored as packed 64-bit blocks.
+///
+/// All set operations needed by the distance kernels — intersection,
+/// union, symmetric difference cardinalities — are popcount loops over
+/// the blocks, which keeps pairwise-distance evaluation cheap enough to
+/// compute matrices B on the fly for the |T| = 10^4 sweeps.
+///
+/// Vectors compare and combine only within the same universe size; the
+/// caller guarantees both operands came from the same KeywordSpace.
+class KeywordVector {
+ public:
+  /// An all-zero vector over a universe of `universe_size` keywords.
+  explicit KeywordVector(size_t universe_size = 0)
+      : universe_size_(universe_size),
+        blocks_((universe_size + 63) / 64, 0) {}
+
+  /// Builds a vector with the given keyword ids set. Ids must be within
+  /// the universe.
+  KeywordVector(size_t universe_size, std::initializer_list<KeywordId> ids)
+      : KeywordVector(universe_size) {
+    for (KeywordId id : ids) Set(id);
+  }
+  KeywordVector(size_t universe_size, const std::vector<KeywordId>& ids)
+      : KeywordVector(universe_size) {
+    for (KeywordId id : ids) Set(id);
+  }
+
+  size_t universe_size() const { return universe_size_; }
+
+  /// Sets / clears / tests one keyword bit. Requires id < universe_size.
+  void Set(KeywordId id) {
+    HTA_DCHECK_LT(static_cast<size_t>(id), universe_size_);
+    blocks_[id >> 6] |= (uint64_t{1} << (id & 63));
+  }
+  void Clear(KeywordId id) {
+    HTA_DCHECK_LT(static_cast<size_t>(id), universe_size_);
+    blocks_[id >> 6] &= ~(uint64_t{1} << (id & 63));
+  }
+  bool Test(KeywordId id) const {
+    HTA_DCHECK_LT(static_cast<size_t>(id), universe_size_);
+    return (blocks_[id >> 6] >> (id & 63)) & 1;
+  }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t total = 0;
+    for (uint64_t b : blocks_) total += static_cast<size_t>(std::popcount(b));
+    return total;
+  }
+
+  bool Empty() const {
+    for (uint64_t b : blocks_) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+  /// |a AND b|. Requires equal universe sizes.
+  static size_t IntersectionCount(const KeywordVector& a,
+                                  const KeywordVector& b) {
+    HTA_DCHECK_EQ(a.universe_size_, b.universe_size_);
+    size_t total = 0;
+    for (size_t i = 0; i < a.blocks_.size(); ++i) {
+      total += static_cast<size_t>(std::popcount(a.blocks_[i] & b.blocks_[i]));
+    }
+    return total;
+  }
+
+  /// |a OR b|.
+  static size_t UnionCount(const KeywordVector& a, const KeywordVector& b) {
+    HTA_DCHECK_EQ(a.universe_size_, b.universe_size_);
+    size_t total = 0;
+    for (size_t i = 0; i < a.blocks_.size(); ++i) {
+      total += static_cast<size_t>(std::popcount(a.blocks_[i] | b.blocks_[i]));
+    }
+    return total;
+  }
+
+  /// |a XOR b| (Hamming distance numerator).
+  static size_t SymmetricDifferenceCount(const KeywordVector& a,
+                                         const KeywordVector& b) {
+    HTA_DCHECK_EQ(a.universe_size_, b.universe_size_);
+    size_t total = 0;
+    for (size_t i = 0; i < a.blocks_.size(); ++i) {
+      total += static_cast<size_t>(std::popcount(a.blocks_[i] ^ b.blocks_[i]));
+    }
+    return total;
+  }
+
+  /// The ids of all set bits, ascending.
+  std::vector<KeywordId> ToIds() const;
+
+  /// Debug rendering like "{2, 5, 17}".
+  std::string ToString() const;
+
+  friend bool operator==(const KeywordVector& a, const KeywordVector& b) {
+    return a.universe_size_ == b.universe_size_ && a.blocks_ == b.blocks_;
+  }
+
+ private:
+  size_t universe_size_;
+  std::vector<uint64_t> blocks_;
+};
+
+}  // namespace hta
+
+#endif  // HTA_CORE_KEYWORD_VECTOR_H_

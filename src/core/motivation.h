@@ -1,0 +1,46 @@
+#ifndef HTA_CORE_MOTIVATION_H_
+#define HTA_CORE_MOTIVATION_H_
+
+#include <vector>
+
+#include "core/distance_oracle.h"
+#include "core/task.h"
+#include "core/worker.h"
+
+namespace hta {
+
+/// A bundle of task indices assigned to one worker (T'_w).
+using TaskBundle = std::vector<TaskIndex>;
+
+/// Task diversity TD(T') = sum over unordered pairs of d(t_k, t_l)
+/// (Eq. 1). Quadratic in |T'|.
+double SetDiversity(const TaskBundle& bundle, const TaskDistanceOracle& d);
+
+/// Task relevance TR(T', w) = sum over t in T' of rel(t, w) (Eq. 2).
+double SetRelevance(const TaskBundle& bundle, const std::vector<Task>& tasks,
+                    const Worker& worker, DistanceKind kind);
+
+/// Expected motivation of worker w for a bundle T' (Eq. 3):
+///
+///   motiv(T', w) = 2 * alpha_w * TD(T') + beta_w * (|T'| - 1) * TR(T', w)
+///
+/// The 2 and (|T'| - 1) factors normalize the quadratic diversity term
+/// against the linear relevance term, following Gollapudi & Sharma.
+/// An empty bundle has motivation 0; note that a singleton bundle also
+/// has motivation 0 (|T'| - 1 == 0 and no pairs), matching the paper's
+/// formulation.
+double Motivation(const TaskBundle& bundle, const Worker& worker,
+                  const TaskDistanceOracle& d);
+
+/// Marginal diversity gain of completing `task` after `completed`
+/// (Section III): sum over t_k in `completed` of d(task, t_k).
+double DiversityMarginalGain(TaskIndex task, const TaskBundle& completed,
+                             const TaskDistanceOracle& d);
+
+/// Relevance gain of completing `task`: rel(task, w).
+double RelevanceGain(TaskIndex task, const std::vector<Task>& tasks,
+                     const Worker& worker, DistanceKind kind);
+
+}  // namespace hta
+
+#endif  // HTA_CORE_MOTIVATION_H_

@@ -1,0 +1,63 @@
+#ifndef HTA_CORE_TASK_H_
+#define HTA_CORE_TASK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/keyword_vector.h"
+
+namespace hta {
+
+/// Dense index of a task within a TaskSet / iteration (0-based).
+using TaskIndex = uint32_t;
+
+/// Identifier of a task group (AMT "HIT group"): tasks from the same
+/// group share most of their keywords. Group count is the diversity
+/// knob swept by Fig. 3.
+using TaskGroupId = uint32_t;
+
+constexpr TaskGroupId kNoTaskGroup = static_cast<TaskGroupId>(-1);
+
+/// A crowdsourcing micro-task (Section II): a Boolean keyword vector
+/// plus descriptive metadata. Keywords reflect the task's content and
+/// requirements ("audio", "English", "tagging", ...).
+class Task {
+ public:
+  Task(uint64_t id, KeywordVector keywords)
+      : id_(id), keywords_(std::move(keywords)) {}
+
+  Task(uint64_t id, KeywordVector keywords, std::string title,
+       TaskGroupId group, double reward_usd)
+      : id_(id),
+        keywords_(std::move(keywords)),
+        title_(std::move(title)),
+        group_(group),
+        reward_usd_(reward_usd) {}
+
+  /// Stable external identifier (unique across the whole catalog).
+  uint64_t id() const { return id_; }
+
+  /// The keyword vector <t(s_1), ..., t(s_R)>.
+  const KeywordVector& keywords() const { return keywords_; }
+
+  /// Human-readable title (may be empty for synthetic tasks).
+  const std::string& title() const { return title_; }
+
+  /// Task group, or kNoTaskGroup.
+  TaskGroupId group() const { return group_; }
+
+  /// Micro-task reward in dollars (papers' range: $0.01-$0.15).
+  double reward_usd() const { return reward_usd_; }
+
+ private:
+  uint64_t id_;
+  KeywordVector keywords_;
+  std::string title_;
+  TaskGroupId group_ = kNoTaskGroup;
+  double reward_usd_ = 0.0;
+};
+
+}  // namespace hta
+
+#endif  // HTA_CORE_TASK_H_

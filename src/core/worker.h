@@ -1,0 +1,67 @@
+#ifndef HTA_CORE_WORKER_H_
+#define HTA_CORE_WORKER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/keyword_vector.h"
+#include "util/check.h"
+
+namespace hta {
+
+/// Dense index of a worker within an iteration's worker set (0-based).
+using WorkerIndex = uint32_t;
+
+/// The (alpha, beta) preference weights of Eq. 3: alpha scales task
+/// diversity, beta scales task relevance, alpha + beta = 1. Observed
+/// and re-estimated each iteration by the adaptive engine.
+struct MotivationWeights {
+  double alpha = 0.5;
+  double beta = 0.5;
+
+  /// Returns weights normalized so alpha + beta = 1; if both are zero,
+  /// falls back to (0.5, 0.5).
+  static MotivationWeights Normalized(double alpha_raw, double beta_raw) {
+    HTA_CHECK(alpha_raw >= 0.0 && beta_raw >= 0.0)
+        << "motivation weights must be non-negative";
+    const double sum = alpha_raw + beta_raw;
+    if (sum <= 0.0) return MotivationWeights{0.5, 0.5};
+    return MotivationWeights{alpha_raw / sum, beta_raw / sum};
+  }
+
+  /// Pure-diversity weights (the HTA-GRE-DIV strategy).
+  static MotivationWeights DiversityOnly() { return {1.0, 0.0}; }
+
+  /// Pure-relevance weights (the HTA-GRE-REL strategy).
+  static MotivationWeights RelevanceOnly() { return {0.0, 1.0}; }
+};
+
+/// A crowd worker (Section II): a Boolean vector of expressed keyword
+/// interests plus the current motivation-weight estimate.
+class Worker {
+ public:
+  Worker(uint64_t id, KeywordVector interests)
+      : id_(id), interests_(std::move(interests)) {}
+
+  Worker(uint64_t id, KeywordVector interests, MotivationWeights weights)
+      : id_(id), interests_(std::move(interests)), weights_(weights) {}
+
+  /// Stable external identifier.
+  uint64_t id() const { return id_; }
+
+  /// The interest vector <w(s_1), ..., w(s_R)>.
+  const KeywordVector& interests() const { return interests_; }
+
+  /// Current (alpha^i_w, beta^i_w) estimate.
+  const MotivationWeights& weights() const { return weights_; }
+  void set_weights(MotivationWeights weights) { weights_ = weights; }
+
+ private:
+  uint64_t id_;
+  KeywordVector interests_;
+  MotivationWeights weights_;
+};
+
+}  // namespace hta
+
+#endif  // HTA_CORE_WORKER_H_

@@ -1,0 +1,228 @@
+#include "engine/assignment_service.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace hta {
+
+AssignmentService::AssignmentService(const std::vector<Task>* catalog,
+                                     AssignmentServiceOptions options)
+    : catalog_(catalog),
+      options_(options),
+      pool_(catalog),
+      estimator_(catalog, options.metric, options.prior),
+      rng_(options.seed) {
+  HTA_CHECK(catalog != nullptr);
+  HTA_CHECK_GE(options_.xmax, size_t{1});
+}
+
+uint64_t AssignmentService::RegisterWorker(const KeywordVector& interests) {
+  const uint64_t id = next_worker_id_++;
+  Session session{Worker(id, interests, options_.prior), {}, 0, true, true,
+                  false, {}};
+  sessions_.emplace(id, std::move(session));
+  RunIteration({id});
+  return id;
+}
+
+std::vector<size_t> AssignmentService::Displayed(uint64_t worker_id) const {
+  auto it = sessions_.find(worker_id);
+  if (it == sessions_.end()) return {};
+  return it->second.displayed;
+}
+
+Status AssignmentService::NotifyCompleted(uint64_t worker_id,
+                                          size_t catalog_index) {
+  auto it = sessions_.find(worker_id);
+  if (it == sessions_.end() || !it->second.active) {
+    return Status::NotFound("unknown or inactive worker " +
+                            std::to_string(worker_id));
+  }
+  Session& session = it->second;
+  if (session.granted.find(catalog_index) == session.granted.end()) {
+    return Status::FailedPrecondition(
+        "task " + std::to_string(catalog_index) +
+        " was never displayed to worker " + std::to_string(worker_id));
+  }
+  HTA_RETURN_IF_ERROR(pool_.MarkCompleted(catalog_index));
+  if (options_.event_log != nullptr) {
+    options_.event_log->RecordCompleted(clock_minutes_, worker_id,
+                                        (*catalog_)[catalog_index].id());
+  }
+  estimator_.ObserveCompletion(worker_id, catalog_index, session.worker);
+  session.worker.set_weights(estimator_.Estimate(worker_id));
+  auto pos = std::find(session.displayed.begin(), session.displayed.end(),
+                       catalog_index);
+  if (pos != session.displayed.end()) session.displayed.erase(pos);
+  ++session.completions_since_refresh;
+
+  if (session.completions_since_refresh >=
+          options_.refresh_after_completions ||
+      session.displayed.empty()) {
+    session.needs_refresh = true;
+  }
+  if (session.needs_refresh && pool_.available_count() > 0) {
+    // Batch due workers until the configured pool size is reached (the
+    // W^i sets of Problem 1); a worker with an exhausted display forces
+    // the iteration so nobody stalls.
+    std::vector<uint64_t> due;
+    bool urgent = false;
+    for (auto& [id, s] : sessions_) {
+      if (!s.active || !s.needs_refresh) continue;
+      due.push_back(id);
+      if (s.displayed.empty()) urgent = true;
+    }
+    if (urgent || due.size() >= options_.min_batch_workers) {
+      std::sort(due.begin(), due.end());
+      RunIteration(due);
+    }
+  }
+  return Status::OK();
+}
+
+void AssignmentService::Deregister(uint64_t worker_id) {
+  auto it = sessions_.find(worker_id);
+  if (it == sessions_.end()) return;
+  Session& session = it->second;
+  session.active = false;
+  if (options_.recycle_on_leave) {
+    for (size_t t : session.displayed) {
+      // Displayed tasks are in Assigned state by construction.
+      HTA_CHECK(pool_.Release(t).ok());
+    }
+  }
+  session.displayed.clear();
+}
+
+MotivationWeights AssignmentService::CurrentWeights(uint64_t worker_id) const {
+  return estimator_.Estimate(worker_id);
+}
+
+void AssignmentService::AdvanceClock(double minute) {
+  HTA_CHECK_GE(minute, clock_minutes_);
+  clock_minutes_ = minute;
+}
+
+std::vector<size_t> AssignmentService::DrawRandomAvailable(size_t count) {
+  std::vector<size_t> available = pool_.AvailableIndices();
+  const size_t take = std::min(count, available.size());
+  std::vector<size_t> picked_positions =
+      rng_.SampleWithoutReplacement(available.size(), take);
+  std::vector<size_t> out;
+  out.reserve(take);
+  for (size_t pos : picked_positions) {
+    out.push_back(available[pos]);
+    HTA_CHECK(pool_.MarkAssigned(available[pos]).ok());
+  }
+  return out;
+}
+
+void AssignmentService::Display(Session* session, std::vector<size_t> bundle) {
+  // Paper setup: the displayed set is the optimized bundle plus a few
+  // random tasks to avoid relevance silos.
+  std::vector<size_t> extras = DrawRandomAvailable(options_.extra_random_tasks);
+  bundle.insert(bundle.end(), extras.begin(), extras.end());
+  session->displayed = bundle;
+  for (size_t t : session->displayed) session->granted.insert(t);
+  session->completions_since_refresh = 0;
+  session->needs_refresh = false;
+  if (options_.event_log != nullptr) {
+    std::vector<uint64_t> task_ids;
+    task_ids.reserve(session->displayed.size());
+    for (size_t t : session->displayed) {
+      task_ids.push_back((*catalog_)[t].id());
+    }
+    options_.event_log->RecordDisplayed(clock_minutes_, session->worker.id(),
+                                        std::move(task_ids));
+  }
+  estimator_.BeginBundle(session->worker.id(), session->displayed);
+}
+
+void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
+  if (worker_ids.empty() || pool_.available_count() == 0) return;
+  WallTimer timer;
+
+  // Cold adaptive workers get a random bundle (the paper's cold-start
+  // handling for HTA-GRE); everyone else goes through the strategy.
+  std::vector<uint64_t> solve_ids;
+  size_t assigned_workers = 0;
+  for (uint64_t id : worker_ids) {
+    Session& session = sessions_.at(id);
+    if (!session.active) continue;
+    const bool cold_start =
+        options_.strategy == StrategyKind::kHtaGre && session.cold;
+    if (cold_start) {
+      Display(&session, DrawRandomAvailable(options_.xmax));
+      session.cold = false;
+      ++assigned_workers;
+    } else {
+      solve_ids.push_back(id);
+    }
+  }
+
+  double motivation = 0.0;
+  size_t solver_task_count = 0;
+  if (!solve_ids.empty() && pool_.available_count() > 0) {
+    // Build the iteration-local instance: a sample of available tasks
+    // plus the due workers with their current weight estimates.
+    std::vector<size_t> available = pool_.AvailableIndices();
+    if (available.size() > options_.max_tasks_per_iteration) {
+      std::vector<size_t> positions = rng_.SampleWithoutReplacement(
+          available.size(), options_.max_tasks_per_iteration);
+      std::sort(positions.begin(), positions.end());
+      std::vector<size_t> sampled;
+      sampled.reserve(positions.size());
+      for (size_t pos : positions) sampled.push_back(available[pos]);
+      available = std::move(sampled);
+    }
+    std::vector<Task> local_tasks;
+    local_tasks.reserve(available.size());
+    for (size_t idx : available) local_tasks.push_back((*catalog_)[idx]);
+    std::vector<Worker> local_workers;
+    local_workers.reserve(solve_ids.size());
+    for (uint64_t id : solve_ids) {
+      const Session& session = sessions_.at(id);
+      local_workers.emplace_back(id, session.worker.interests(),
+                                 estimator_.Estimate(id));
+    }
+    auto problem = HtaProblem::Create(&local_tasks, &local_workers,
+                                      options_.xmax, options_.metric);
+    HTA_CHECK(problem.ok()) << problem.status();
+    auto solved = SolveWithStrategy(*problem, options_.strategy,
+                                    options_.seed + iterations_.size(), &rng_,
+                                    options_.swap);
+    HTA_CHECK(solved.ok()) << solved.status();
+    motivation = solved->stats.motivation;
+    solver_task_count = local_tasks.size();
+
+    // Mark every solved bundle before drawing any random extras, so an
+    // extra drawn for one worker cannot collide with a task the solver
+    // granted to another.
+    std::vector<std::vector<size_t>> bundles(solve_ids.size());
+    for (size_t q = 0; q < solve_ids.size(); ++q) {
+      bundles[q].reserve(solved->assignment.bundles[q].size());
+      for (TaskIndex local : solved->assignment.bundles[q]) {
+        const size_t catalog_index = available[local];
+        HTA_CHECK(pool_.MarkAssigned(catalog_index).ok());
+        bundles[q].push_back(catalog_index);
+      }
+    }
+    for (size_t q = 0; q < solve_ids.size(); ++q) {
+      Session& session = sessions_.at(solve_ids[q]);
+      Display(&session, std::move(bundles[q]));
+      session.cold = false;
+      ++assigned_workers;
+    }
+  }
+
+  IterationRecord record;
+  record.iteration = iterations_.size() + 1;
+  record.worker_count = assigned_workers;
+  record.task_count = solver_task_count;
+  record.solve_seconds = timer.ElapsedSeconds();
+  record.motivation = motivation;
+  iterations_.push_back(record);
+}
+
+}  // namespace hta

@@ -1,0 +1,146 @@
+#ifndef HTA_ENGINE_ASSIGNMENT_SERVICE_H_
+#define HTA_ENGINE_ASSIGNMENT_SERVICE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "assign/baselines.h"
+#include "engine/event_log.h"
+#include "engine/motivation_estimator.h"
+#include "engine/task_pool.h"
+#include "util/rng.h"
+
+namespace hta {
+
+/// Configuration of the crowdsourcing assignment service (Fig. 4).
+/// Defaults mirror the paper's online deployment: Xmax = 15 optimized
+/// tasks plus 5 random tasks displayed per worker.
+struct AssignmentServiceOptions {
+  StrategyKind strategy = StrategyKind::kHtaGre;
+  DistanceKind metric = DistanceKind::kJaccard;
+  size_t xmax = 15;
+  /// Random tasks displayed alongside the optimized bundle, "to avoid
+  /// falling into a silo" (Section V-C).
+  size_t extra_random_tasks = 5;
+  /// A worker's bundle is re-assigned after this many completions (the
+  /// service's iteration trigger) — or earlier if they exhaust it.
+  size_t refresh_after_completions = 5;
+  /// Due workers are batched until this many need re-assignment, then
+  /// one HTA solve serves them all (the W^i sets of Problem 1). A
+  /// worker whose display is exhausted forces the batch immediately.
+  /// 1 = re-assign as soon as anyone is due.
+  size_t min_batch_workers = 1;
+  /// Tasks per HTA solve are sampled down to this bound; real catalogs
+  /// (the paper's CrowdFlower set has 158,018 tasks) are far larger
+  /// than one iteration can meaningfully consider.
+  size_t max_tasks_per_iteration = 300;
+  /// If true, a departing worker's unfinished tasks return to the pool;
+  /// if false (paper behavior) assigned tasks stay dropped.
+  bool recycle_on_leave = false;
+  /// Pair-swap variant used inside the strategy solve. The deployment
+  /// defaults to the derandomized best-of-two step: handing a worker a
+  /// strictly better bundle is always preferable online (the random
+  /// swap exists for the offline expectation analysis).
+  SwapMode swap = SwapMode::kBestOfTwo;
+  /// Prior (alpha, beta) before any observation.
+  MotivationWeights prior{0.5, 0.5};
+  /// Optional audit log (not owned; must outlive the service). When
+  /// set, every displayed bundle and completion is recorded with the
+  /// service clock, enabling offline replay via ReplayEstimates.
+  EventLog* event_log = nullptr;
+  uint64_t seed = 42;
+};
+
+/// Per-iteration diagnostics.
+struct IterationRecord {
+  size_t iteration = 0;
+  size_t worker_count = 0;   ///< Workers (re)assigned in this iteration.
+  size_t task_count = 0;     ///< Tasks offered to the solver.
+  double solve_seconds = 0.0;
+  double motivation = 0.0;   ///< Objective value of the solved instance.
+};
+
+/// The platform workflow of Fig. 4: workers register, receive displayed
+/// task sets, and notify completions; the service observes completions,
+/// re-estimates (alpha, beta), and re-runs the configured assignment
+/// strategy when a worker's trigger fires.
+///
+/// Single-threaded by design: the discrete-event simulator (and any
+/// real deployment loop) serializes calls.
+class AssignmentService {
+ public:
+  AssignmentService(const std::vector<Task>* catalog,
+                    AssignmentServiceOptions options);
+
+  /// A new worker arrives (Fig. 4 "New w"); returns their id and
+  /// performs the first assignment (random cold-start bundle for the
+  /// adaptive strategy, strategy solve otherwise).
+  uint64_t RegisterWorker(const KeywordVector& interests);
+
+  /// Tasks currently displayed to the worker (catalog indices,
+  /// completed ones removed).
+  std::vector<size_t> Displayed(uint64_t worker_id) const;
+
+  /// The worker completed `catalog_index` (Fig. 4 "Notify t completed
+  /// by w"). Updates the pool and the motivation estimate, and
+  /// re-assigns when the refresh trigger fires.
+  Status NotifyCompleted(uint64_t worker_id, size_t catalog_index);
+
+  /// The worker's session ended.
+  void Deregister(uint64_t worker_id);
+
+  /// Current (alpha, beta) estimate for a worker.
+  MotivationWeights CurrentWeights(uint64_t worker_id) const;
+
+  /// Advances the service clock (used only to timestamp the audit
+  /// log). Must be non-decreasing.
+  void AdvanceClock(double minute);
+
+  /// Current service clock in minutes.
+  double clock_minutes() const { return clock_minutes_; }
+
+  size_t iteration_count() const { return iterations_.size(); }
+  const std::vector<IterationRecord>& iterations() const {
+    return iterations_;
+  }
+  const TaskPool& pool() const { return pool_; }
+  const AssignmentServiceOptions& options() const { return options_; }
+
+ private:
+  struct Session {
+    Worker worker;
+    std::vector<size_t> displayed;  // Catalog indices still displayed.
+    size_t completions_since_refresh = 0;
+    bool active = true;
+    bool cold = true;           // No strategy-solved bundle yet.
+    bool needs_refresh = false; // Due for the next batched iteration.
+    /// Every task ever displayed to this worker. A batched iteration
+    /// can replace the display while a task is in flight; submissions
+    /// of previously granted (still assigned) tasks are accepted.
+    std::unordered_set<size_t> granted;
+  };
+
+  /// Re-assigns bundles to the given (active) workers.
+  void RunIteration(const std::vector<uint64_t>& worker_ids);
+
+  /// Draws up to `count` random available tasks and marks them assigned.
+  std::vector<size_t> DrawRandomAvailable(size_t count);
+
+  void Display(Session* session, std::vector<size_t> bundle);
+
+  const std::vector<Task>* catalog_;
+  AssignmentServiceOptions options_;
+  TaskPool pool_;
+  MotivationEstimator estimator_;
+  Rng rng_;
+  uint64_t next_worker_id_ = 1;
+  double clock_minutes_ = 0.0;
+  std::unordered_map<uint64_t, Session> sessions_;
+  std::vector<IterationRecord> iterations_;
+};
+
+}  // namespace hta
+
+#endif  // HTA_ENGINE_ASSIGNMENT_SERVICE_H_

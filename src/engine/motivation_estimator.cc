@@ -1,0 +1,114 @@
+#include "engine/motivation_estimator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hta {
+
+MotivationEstimator::MotivationEstimator(const std::vector<Task>* catalog,
+                                         DistanceKind kind,
+                                         MotivationWeights prior)
+    : catalog_(catalog), kind_(kind), prior_(prior) {
+  HTA_CHECK(catalog != nullptr);
+}
+
+double MotivationEstimator::Distance(size_t a, size_t b) const {
+  return PairwiseTaskDiversity(kind_, (*catalog_)[a], (*catalog_)[b]);
+}
+
+void MotivationEstimator::BeginBundle(
+    uint64_t worker_id, const std::vector<size_t>& bundle_catalog_indices) {
+  WorkerState& state = states_[worker_id];
+  state.bundle = bundle_catalog_indices;
+  state.completed.clear();
+}
+
+void MotivationEstimator::ObserveCompletion(uint64_t worker_id,
+                                            size_t catalog_task,
+                                            const Worker& worker) {
+  HTA_CHECK_LT(catalog_task, catalog_->size());
+  auto it = states_.find(worker_id);
+  if (it == states_.end()) return;
+  WorkerState& state = it->second;
+  if (std::find(state.bundle.begin(), state.bundle.end(), catalog_task) ==
+      state.bundle.end()) {
+    return;  // Not part of the optimized bundle: no signal.
+  }
+  if (std::find(state.completed.begin(), state.completed.end(),
+                catalog_task) != state.completed.end()) {
+    return;  // Duplicate completion notification.
+  }
+
+  // Remaining bundle tasks the worker could have chosen instead
+  // (T^{i-1}_w minus already-completed ones; includes catalog_task).
+  std::vector<size_t> remaining;
+  for (size_t t : state.bundle) {
+    if (std::find(state.completed.begin(), state.completed.end(), t) ==
+        state.completed.end()) {
+      remaining.push_back(t);
+    }
+  }
+
+  // Diversity component: marginal gain over completed prefix.
+  double gain = 0.0;
+  for (size_t prev : state.completed) gain += Distance(catalog_task, prev);
+  double max_gain = 0.0;
+  for (size_t candidate : remaining) {
+    double g = 0.0;
+    for (size_t prev : state.completed) g += Distance(candidate, prev);
+    max_gain = std::max(max_gain, g);
+  }
+  if (max_gain > 0.0) {
+    state.diversity_gain_sum += gain / max_gain;
+    ++state.diversity_gain_count;
+  }
+
+  // Relevance component.
+  const double rel = TaskRelevance(kind_, (*catalog_)[catalog_task], worker);
+  double max_rel = 0.0;
+  for (size_t candidate : remaining) {
+    max_rel = std::max(
+        max_rel, TaskRelevance(kind_, (*catalog_)[candidate], worker));
+  }
+  if (max_rel > 0.0) {
+    state.relevance_gain_sum += rel / max_rel;
+    ++state.relevance_gain_count;
+  }
+
+  state.completed.push_back(catalog_task);
+}
+
+MotivationWeights MotivationEstimator::Estimate(uint64_t worker_id) const {
+  auto it = states_.find(worker_id);
+  if (it == states_.end()) return prior_;
+  const WorkerState& state = it->second;
+  if (state.diversity_gain_count == 0 && state.relevance_gain_count == 0) {
+    return prior_;
+  }
+  const double alpha_raw =
+      state.diversity_gain_count > 0
+          ? state.diversity_gain_sum /
+                static_cast<double>(state.diversity_gain_count)
+          : prior_.alpha;
+  const double beta_raw =
+      state.relevance_gain_count > 0
+          ? state.relevance_gain_sum /
+                static_cast<double>(state.relevance_gain_count)
+          : prior_.beta;
+  return MotivationWeights::Normalized(alpha_raw, beta_raw);
+}
+
+size_t MotivationEstimator::DiversityObservationCount(
+    uint64_t worker_id) const {
+  auto it = states_.find(worker_id);
+  return it == states_.end() ? 0 : it->second.diversity_gain_count;
+}
+
+size_t MotivationEstimator::RelevanceObservationCount(
+    uint64_t worker_id) const {
+  auto it = states_.find(worker_id);
+  return it == states_.end() ? 0 : it->second.relevance_gain_count;
+}
+
+}  // namespace hta

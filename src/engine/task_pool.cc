@@ -1,0 +1,62 @@
+#include "engine/task_pool.h"
+
+#include <string>
+
+#include "util/check.h"
+
+namespace hta {
+
+TaskPool::TaskPool(const std::vector<Task>* catalog) : catalog_(catalog) {
+  HTA_CHECK(catalog != nullptr);
+  states_.assign(catalog->size(), TaskState::kAvailable);
+  available_count_ = catalog->size();
+}
+
+TaskState TaskPool::state(size_t catalog_index) const {
+  HTA_CHECK_LT(catalog_index, states_.size());
+  return states_[catalog_index];
+}
+
+std::vector<size_t> TaskPool::AvailableIndices() const {
+  std::vector<size_t> out;
+  out.reserve(available_count_);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == TaskState::kAvailable) out.push_back(i);
+  }
+  return out;
+}
+
+Status TaskPool::MarkAssigned(size_t catalog_index) {
+  HTA_CHECK_LT(catalog_index, states_.size());
+  if (states_[catalog_index] != TaskState::kAvailable) {
+    return Status::FailedPrecondition(
+        "task " + std::to_string(catalog_index) + " is not available");
+  }
+  states_[catalog_index] = TaskState::kAssigned;
+  --available_count_;
+  return Status::OK();
+}
+
+Status TaskPool::MarkCompleted(size_t catalog_index) {
+  HTA_CHECK_LT(catalog_index, states_.size());
+  if (states_[catalog_index] != TaskState::kAssigned) {
+    return Status::FailedPrecondition(
+        "task " + std::to_string(catalog_index) + " is not assigned");
+  }
+  states_[catalog_index] = TaskState::kCompleted;
+  ++completed_count_;
+  return Status::OK();
+}
+
+Status TaskPool::Release(size_t catalog_index) {
+  HTA_CHECK_LT(catalog_index, states_.size());
+  if (states_[catalog_index] != TaskState::kAssigned) {
+    return Status::FailedPrecondition(
+        "task " + std::to_string(catalog_index) + " is not assigned");
+  }
+  states_[catalog_index] = TaskState::kAvailable;
+  ++available_count_;
+  return Status::OK();
+}
+
+}  // namespace hta

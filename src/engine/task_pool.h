@@ -1,0 +1,59 @@
+#ifndef HTA_ENGINE_TASK_POOL_H_
+#define HTA_ENGINE_TASK_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/task.h"
+#include "util/status.h"
+
+namespace hta {
+
+/// Lifecycle state of a catalog task within a deployment.
+enum class TaskState : uint8_t {
+  kAvailable,  ///< Eligible for assignment at the next iteration.
+  kAssigned,   ///< Handed to a worker; dropped from later iterations.
+  kCompleted,  ///< Finished by a worker.
+};
+
+/// Tracks task lifecycle across assignment iterations (Section III:
+/// "Once assigned, a task is dropped from subsequent iterations").
+///
+/// The pool references a fixed catalog (not owned). By default an
+/// assigned-but-never-completed task stays out of circulation, matching
+/// the paper; `Release` puts such tasks back (used when a worker leaves
+/// mid-session and the deployment opts to recycle their leftovers).
+class TaskPool {
+ public:
+  explicit TaskPool(const std::vector<Task>* catalog);
+
+  const std::vector<Task>& catalog() const { return *catalog_; }
+  size_t size() const { return states_.size(); }
+
+  TaskState state(size_t catalog_index) const;
+
+  /// Indices of all currently available tasks, ascending.
+  std::vector<size_t> AvailableIndices() const;
+  size_t available_count() const { return available_count_; }
+  size_t completed_count() const { return completed_count_; }
+
+  /// Marks an available task as assigned. Fails with FailedPrecondition
+  /// if the task is not available.
+  Status MarkAssigned(size_t catalog_index);
+
+  /// Marks an assigned task as completed. Fails if not assigned.
+  Status MarkCompleted(size_t catalog_index);
+
+  /// Returns an assigned (not completed) task to the available pool.
+  Status Release(size_t catalog_index);
+
+ private:
+  const std::vector<Task>* catalog_;
+  std::vector<TaskState> states_;
+  size_t available_count_ = 0;
+  size_t completed_count_ = 0;
+};
+
+}  // namespace hta
+
+#endif  // HTA_ENGINE_TASK_POOL_H_

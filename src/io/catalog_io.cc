@@ -1,0 +1,293 @@
+#include "io/catalog_io.h"
+
+#include <cstdlib>
+
+#include "io/csv.h"
+#include "util/table.h"
+
+namespace hta {
+
+namespace {
+
+std::string JoinKeywordNames(const KeywordVector& vector,
+                             const KeywordSpace& space) {
+  std::string out;
+  bool first = true;
+  for (KeywordId id : vector.ToIds()) {
+    if (!first) out += ';';
+    out += space.Name(id);
+    first = false;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitSemicolons(const std::string& joined) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char ch : joined) {
+    if (ch == ';') {
+      if (!current.empty()) parts.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += ch;
+    }
+  }
+  if (!current.empty()) parts.push_back(std::move(current));
+  return parts;
+}
+
+Result<double> ParseDouble(const std::string& raw) {
+  char* end = nullptr;
+  const double value = std::strtod(raw.c_str(), &end);
+  if (end == raw.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed number: '" + raw + "'");
+  }
+  return value;
+}
+
+Result<long long> ParseInt(const std::string& raw) {
+  char* end = nullptr;
+  const long long value = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed integer: '" + raw + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Status SaveCatalogCsv(const Catalog& catalog, const std::string& path) {
+  CsvFile file;
+  file.header = {"id", "title", "group", "reward_usd", "questions",
+                 "keywords"};
+  file.rows.reserve(catalog.size());
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    const Task& task = catalog.tasks[i];
+    file.rows.push_back(
+        {FmtInt(static_cast<long long>(task.id())), task.title(),
+         task.group() == kNoTaskGroup
+             ? ""
+             : FmtInt(static_cast<long long>(task.group())),
+         FmtDouble(task.reward_usd(), 4),
+         FmtInt(static_cast<long long>(catalog.questions_per_task[i])),
+         JoinKeywordNames(task.keywords(), catalog.space)});
+  }
+  return WriteCsvFile(path, file);
+}
+
+Result<Catalog> LoadCatalogCsv(const std::string& path) {
+  HTA_ASSIGN_OR_RETURN(const CsvFile file, ReadCsvFile(path));
+  const std::vector<std::string> expected = {"id",         "title",
+                                             "group",      "reward_usd",
+                                             "questions",  "keywords"};
+  if (file.header != expected) {
+    return Status::InvalidArgument("unexpected catalog CSV header in " +
+                                   path);
+  }
+  Catalog catalog;
+  // Two passes: intern all keywords first so universe_size is final
+  // before any vector is built.
+  for (const auto& row : file.rows) {
+    for (const std::string& kw : SplitSemicolons(row[5])) {
+      catalog.space.Intern(kw);
+    }
+  }
+  const size_t universe = catalog.space.size();
+  catalog.tasks.reserve(file.rows.size());
+  catalog.questions_per_task.reserve(file.rows.size());
+  for (const auto& row : file.rows) {
+    HTA_ASSIGN_OR_RETURN(const long long id, ParseInt(row[0]));
+    TaskGroupId group = kNoTaskGroup;
+    if (!row[2].empty()) {
+      HTA_ASSIGN_OR_RETURN(const long long g, ParseInt(row[2]));
+      group = static_cast<TaskGroupId>(g);
+    }
+    HTA_ASSIGN_OR_RETURN(const double reward, ParseDouble(row[3]));
+    HTA_ASSIGN_OR_RETURN(const long long questions, ParseInt(row[4]));
+    if (questions < 1) {
+      return Status::InvalidArgument("task " + row[0] +
+                                     " must have >= 1 question");
+    }
+    KeywordVector keywords(universe);
+    for (const std::string& kw : SplitSemicolons(row[5])) {
+      keywords.Set(catalog.space.Find(kw).value());
+    }
+    catalog.tasks.emplace_back(static_cast<uint64_t>(id), std::move(keywords),
+                               row[1], group, reward);
+    catalog.questions_per_task.push_back(static_cast<uint16_t>(questions));
+  }
+  return catalog;
+}
+
+Result<Deployment> LoadDeployment(const std::string& tasks_path,
+                                  const std::string& workers_path) {
+  HTA_ASSIGN_OR_RETURN(const CsvFile worker_file, ReadCsvFile(workers_path));
+  const std::vector<std::string> expected = {"id", "alpha", "beta",
+                                             "interests"};
+  if (worker_file.header != expected) {
+    return Status::InvalidArgument("unexpected worker CSV header in " +
+                                   workers_path);
+  }
+  Deployment deployment;
+  {
+    // The catalog loader interns task keywords; extend the space with
+    // worker-only keywords BEFORE task vectors are built so every
+    // vector shares one universe. Easiest correct order: pre-scan the
+    // worker file, then load the catalog with those keywords already
+    // interned is not possible through LoadCatalogCsv (it builds a
+    // fresh space), so instead rebuild task vectors after widening.
+    HTA_ASSIGN_OR_RETURN(Catalog narrow, LoadCatalogCsv(tasks_path));
+    for (const auto& row : worker_file.rows) {
+      for (const std::string& kw : SplitSemicolons(row[3])) {
+        narrow.space.Intern(kw);
+      }
+    }
+    const size_t task_universe =
+        narrow.tasks.empty() ? 0
+                             : narrow.tasks.front().keywords().universe_size();
+    if (narrow.space.size() == task_universe) {
+      // No new keywords: vectors are already in the right universe.
+      deployment.catalog = std::move(narrow);
+    } else {
+      // Rebuild task vectors in the widened universe.
+      Catalog widened;
+      widened.space = std::move(narrow.space);
+      widened.questions_per_task = std::move(narrow.questions_per_task);
+      const size_t universe = widened.space.size();
+      widened.tasks.reserve(narrow.tasks.size());
+      for (const Task& task : narrow.tasks) {
+        KeywordVector keywords(universe, task.keywords().ToIds());
+        widened.tasks.emplace_back(task.id(), std::move(keywords),
+                                   task.title(), task.group(),
+                                   task.reward_usd());
+      }
+      deployment.catalog = std::move(widened);
+    }
+  }
+  HTA_ASSIGN_OR_RETURN(
+      deployment.workers,
+      LoadWorkersCsv(workers_path, deployment.catalog.space));
+  return deployment;
+}
+
+Status SaveWorkersCsv(const std::vector<Worker>& workers,
+                      const KeywordSpace& space, const std::string& path) {
+  CsvFile file;
+  file.header = {"id", "alpha", "beta", "interests"};
+  file.rows.reserve(workers.size());
+  for (const Worker& worker : workers) {
+    if (worker.interests().universe_size() != space.size()) {
+      return Status::InvalidArgument(
+          "worker " + std::to_string(worker.id()) +
+          " uses a different keyword universe than the catalog");
+    }
+    file.rows.push_back({FmtInt(static_cast<long long>(worker.id())),
+                         FmtDouble(worker.weights().alpha, 6),
+                         FmtDouble(worker.weights().beta, 6),
+                         JoinKeywordNames(worker.interests(), space)});
+  }
+  return WriteCsvFile(path, file);
+}
+
+Result<std::vector<Worker>> LoadWorkersCsv(const std::string& path,
+                                           const KeywordSpace& space) {
+  HTA_ASSIGN_OR_RETURN(const CsvFile file, ReadCsvFile(path));
+  const std::vector<std::string> expected = {"id", "alpha", "beta",
+                                             "interests"};
+  if (file.header != expected) {
+    return Status::InvalidArgument("unexpected worker CSV header in " + path);
+  }
+  std::vector<Worker> workers;
+  workers.reserve(file.rows.size());
+  for (const auto& row : file.rows) {
+    HTA_ASSIGN_OR_RETURN(const long long id, ParseInt(row[0]));
+    HTA_ASSIGN_OR_RETURN(const double alpha, ParseDouble(row[1]));
+    HTA_ASSIGN_OR_RETURN(const double beta, ParseDouble(row[2]));
+    KeywordVector interests(space.size());
+    for (const std::string& kw : SplitSemicolons(row[3])) {
+      HTA_ASSIGN_OR_RETURN(const KeywordId kid, space.Find(kw));
+      interests.Set(kid);
+    }
+    workers.emplace_back(static_cast<uint64_t>(id), std::move(interests),
+                         MotivationWeights{alpha, beta});
+  }
+  return workers;
+}
+
+Status SaveEventLogCsv(const EventLog& log, const std::string& path) {
+  CsvFile file;
+  file.header = {"minute", "worker_id", "kind", "task_ids"};
+  file.rows.reserve(log.size());
+  for (const LoggedEvent& event : log.events()) {
+    std::string ids;
+    for (size_t i = 0; i < event.task_ids.size(); ++i) {
+      if (i > 0) ids += ';';
+      ids += FmtInt(static_cast<long long>(event.task_ids[i]));
+    }
+    file.rows.push_back(
+        {FmtDouble(event.minute, 6),
+         FmtInt(static_cast<long long>(event.worker_id)),
+         event.kind == LoggedEvent::Kind::kDisplayed ? "displayed"
+                                                     : "completed",
+         ids});
+  }
+  return WriteCsvFile(path, file);
+}
+
+Result<EventLog> LoadEventLogCsv(const std::string& path) {
+  HTA_ASSIGN_OR_RETURN(const CsvFile file, ReadCsvFile(path));
+  const std::vector<std::string> expected = {"minute", "worker_id", "kind",
+                                             "task_ids"};
+  if (file.header != expected) {
+    return Status::InvalidArgument("unexpected event log CSV header in " +
+                                   path);
+  }
+  EventLog log;
+  for (const auto& row : file.rows) {
+    HTA_ASSIGN_OR_RETURN(const double minute, ParseDouble(row[0]));
+    HTA_ASSIGN_OR_RETURN(const long long worker, ParseInt(row[1]));
+    std::vector<uint64_t> ids;
+    for (const std::string& raw : SplitSemicolons(row[3])) {
+      HTA_ASSIGN_OR_RETURN(const long long id, ParseInt(raw));
+      ids.push_back(static_cast<uint64_t>(id));
+    }
+    if (row[2] == "displayed") {
+      log.RecordDisplayed(minute, static_cast<uint64_t>(worker),
+                          std::move(ids));
+    } else if (row[2] == "completed") {
+      if (ids.size() != 1) {
+        return Status::InvalidArgument(
+            "completed event must reference exactly one task");
+      }
+      log.RecordCompleted(minute, static_cast<uint64_t>(worker), ids[0]);
+    } else {
+      return Status::InvalidArgument("unknown event kind '" + row[2] + "'");
+    }
+  }
+  return log;
+}
+
+Status SaveAssignmentCsv(const Assignment& assignment,
+                         const std::vector<Worker>& workers,
+                         const std::vector<Task>& tasks,
+                         const std::string& path) {
+  if (assignment.bundles.size() != workers.size()) {
+    return Status::InvalidArgument(
+        "assignment bundle count does not match worker count");
+  }
+  CsvFile file;
+  file.header = {"worker_id", "task_id"};
+  for (size_t q = 0; q < assignment.bundles.size(); ++q) {
+    for (TaskIndex t : assignment.bundles[q]) {
+      if (static_cast<size_t>(t) >= tasks.size()) {
+        return Status::OutOfRange("assignment references invalid task index");
+      }
+      file.rows.push_back(
+          {FmtInt(static_cast<long long>(workers[q].id())),
+           FmtInt(static_cast<long long>(tasks[t].id()))});
+    }
+  }
+  return WriteCsvFile(path, file);
+}
+
+}  // namespace hta

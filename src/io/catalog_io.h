@@ -1,0 +1,76 @@
+#ifndef HTA_IO_CATALOG_IO_H_
+#define HTA_IO_CATALOG_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "assign/assignment.h"
+#include "engine/event_log.h"
+#include "core/worker.h"
+#include "sim/catalog.h"
+#include "util/result.h"
+
+namespace hta {
+
+/// CSV persistence for catalogs, workers and assignments, so that
+/// deployments can be driven from files (e.g. a real AMT crawl exported
+/// to the same schema) instead of the synthetic generator.
+///
+/// Catalog schema:  id,title,group,reward_usd,questions,keywords
+///   `keywords` is a ';'-joined list of keyword names.
+/// Worker schema:   id,alpha,beta,interests
+///   `interests` is a ';'-joined list of keyword names.
+///
+/// Loading interns keywords in first-appearance order; saving writes
+/// keyword names from the catalog's space, so save→load round-trips
+/// tasks and workers exactly (up to keyword-id renumbering).
+
+/// Saves the catalog. Fails on I/O errors.
+Status SaveCatalogCsv(const Catalog& catalog, const std::string& path);
+
+/// Loads a catalog. Keywords are interned into a fresh space. Fails on
+/// I/O errors, unknown header layout, or malformed numeric fields.
+Result<Catalog> LoadCatalogCsv(const std::string& path);
+
+/// Saves workers against the catalog's keyword space (interest ids are
+/// rendered as keyword names). Workers whose interests fall outside the
+/// space cannot be represented and fail the save.
+Status SaveWorkersCsv(const std::vector<Worker>& workers,
+                      const KeywordSpace& space, const std::string& path);
+
+/// Loads workers, resolving interest keywords against `space` (which is
+/// typically the loaded catalog's). Unknown keywords fail with
+/// NotFound.
+Result<std::vector<Worker>> LoadWorkersCsv(const std::string& path,
+                                           const KeywordSpace& space);
+
+/// A catalog and worker population loaded against one shared keyword
+/// space. Workers may express interests in keywords no task carries
+/// (the paper's workers pick keywords freely), so the space is the
+/// union of both files' keywords; loading the two files separately
+/// would reject such workers.
+struct Deployment {
+  Catalog catalog;
+  std::vector<Worker> workers;
+};
+
+/// Loads a catalog and workers together, interning the union of their
+/// keywords (catalog file first, then worker file).
+Result<Deployment> LoadDeployment(const std::string& tasks_path,
+                                  const std::string& workers_path);
+
+/// Event-log persistence. Schema: minute,worker_id,kind,task_ids with
+/// kind in {displayed, completed} and task_ids ';'-joined.
+Status SaveEventLogCsv(const EventLog& log, const std::string& path);
+Result<EventLog> LoadEventLogCsv(const std::string& path);
+
+/// Exports an assignment as rows of (worker_id, task_id) pairs, one
+/// per assigned task, bundle order preserved.
+Status SaveAssignmentCsv(const Assignment& assignment,
+                         const std::vector<Worker>& workers,
+                         const std::vector<Task>& tasks,
+                         const std::string& path);
+
+}  // namespace hta
+
+#endif  // HTA_IO_CATALOG_IO_H_

@@ -1,0 +1,130 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace hta {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  const size_t n = line.size();
+  bool field_was_quoted = false;
+
+  while (i < n) {
+    const char ch = line[i];
+    if (in_quotes) {
+      if (ch == '"') {
+        if (i + 1 < n && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        current += ch;
+        ++i;
+      }
+      continue;
+    }
+    if (ch == '"') {
+      if (!current.empty() || field_was_quoted) {
+        return Status::InvalidArgument(
+            "unexpected quote inside unquoted field: " + std::string(line));
+      }
+      in_quotes = true;
+      field_was_quoted = true;
+      ++i;
+    } else if (ch == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      field_was_quoted = false;
+      ++i;
+    } else {
+      if (field_was_quoted) {
+        return Status::InvalidArgument(
+            "characters after closing quote: " + std::string(line));
+      }
+      current += ch;
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quote: " + std::string(line));
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t f = 0; f < fields.size(); ++f) {
+    if (f > 0) out += ',';
+    const std::string& field = fields[f];
+    if (field.find_first_of(",\"\n") == std::string::npos) {
+      out += field;
+      continue;
+    }
+    out += '"';
+    for (char ch : field) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+Result<CsvFile> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  CsvFile file;
+  std::string line;
+  bool have_header = false;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    HTA_ASSIGN_OR_RETURN(std::vector<std::string> fields, ParseCsvLine(line));
+    if (!have_header) {
+      file.header = std::move(fields);
+      have_header = true;
+      continue;
+    }
+    if (fields.size() != file.header.size()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) + ": expected " +
+          std::to_string(file.header.size()) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    file.rows.push_back(std::move(fields));
+  }
+  if (!have_header) {
+    return Status::InvalidArgument("CSV file has no header: " + path);
+  }
+  return file;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvFile& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal("cannot create CSV file: " + path);
+  }
+  out << FormatCsvLine(content.header) << '\n';
+  for (const auto& row : content.rows) {
+    out << FormatCsvLine(row) << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("failed writing CSV file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace hta

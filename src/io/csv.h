@@ -1,0 +1,39 @@
+#ifndef HTA_IO_CSV_H_
+#define HTA_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace hta {
+
+/// Minimal RFC-4180-style CSV support used by the catalog/worker
+/// persistence layer and the experiment exporters: quoted fields,
+/// doubled quotes, embedded commas. Newlines inside quoted fields are
+/// not supported (no field in libhta's formats needs them).
+
+/// Parses one CSV record into fields. Fails on unterminated quotes or
+/// stray characters after a closing quote.
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// Renders fields as one CSV record (no trailing newline).
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Reads an entire CSV file: first record is the header. Skips blank
+/// lines. Fails with NotFound if the file cannot be opened, or
+/// InvalidArgument if any row has a different arity than the header.
+struct CsvFile {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+Result<CsvFile> ReadCsvFile(const std::string& path);
+
+/// Writes a CSV file (header + rows). Fails if the file cannot be
+/// created.
+Status WriteCsvFile(const std::string& path, const CsvFile& content);
+
+}  // namespace hta
+
+#endif  // HTA_IO_CSV_H_

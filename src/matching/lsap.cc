@@ -1,0 +1,130 @@
+#include "matching/lsap.h"
+
+#include <cmath>
+
+namespace hta {
+
+LsapSolution SolveLsapHungarian(size_t n, const std::vector<double>& profit) {
+  HTA_CHECK_EQ(profit.size(), n * n);
+  if (n == 0) return lsap_internal::FinishSolution({}, 0, 0.0);
+  const double kInf = std::numeric_limits<double>::infinity();
+  // Classic O(n^3) Hungarian with potentials, 1-indexed internally;
+  // minimizes cost = -profit.
+  auto cost = [&](size_t i, size_t j) { return -profit[i * n + j]; };
+
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0);    // p[j] = row matched to column j.
+  std::vector<size_t> way(n + 1, 0);  // Alternating-path parents.
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const size_t i0 = p[j0];
+      double delta = kInf;
+      size_t j1 = 0;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int32_t> row_to_col(n, -1);
+  double total = 0.0;
+  for (size_t j = 1; j <= n; ++j) {
+    row_to_col[p[j] - 1] = static_cast<int32_t>(j - 1);
+    total += profit[(p[j] - 1) * n + (j - 1)];
+  }
+  return lsap_internal::FinishSolution(std::move(row_to_col), n, total);
+}
+
+LsapSolution SolveLsapAuction(size_t n, const std::vector<double>& profit) {
+  HTA_CHECK_EQ(profit.size(), n * n);
+  if (n == 0) return lsap_internal::FinishSolution({}, 0, 0.0);
+
+  double max_abs = 0.0;
+  for (double p : profit) max_abs = std::max(max_abs, std::abs(p));
+  if (max_abs == 0.0) max_abs = 1.0;
+
+  std::vector<double> price(n, 0.0);
+  std::vector<int32_t> row_to_col(n, -1);
+  std::vector<int32_t> col_to_row(n, -1);
+
+  // Epsilon scaling: start coarse, finish below the resolution at which
+  // misassignments could flip the result for well-separated profits.
+  const double eps_final = max_abs / (4.0 * static_cast<double>(n));
+  double eps = std::max(eps_final, max_abs / 4.0);
+  while (true) {
+    std::fill(row_to_col.begin(), row_to_col.end(), -1);
+    std::fill(col_to_row.begin(), col_to_row.end(), -1);
+    std::vector<size_t> unassigned;
+    unassigned.reserve(n);
+    for (size_t i = 0; i < n; ++i) unassigned.push_back(i);
+
+    while (!unassigned.empty()) {
+      const size_t i = unassigned.back();
+      unassigned.pop_back();
+      // Best and second-best net value for bidder i.
+      double best = -std::numeric_limits<double>::infinity();
+      double second = best;
+      size_t best_j = 0;
+      for (size_t j = 0; j < n; ++j) {
+        const double value = profit[i * n + j] - price[j];
+        if (value > best) {
+          second = best;
+          best = value;
+          best_j = j;
+        } else if (value > second) {
+          second = value;
+        }
+      }
+      const double increment =
+          (n == 1 ? eps : best - second) + eps;
+      price[best_j] += increment;
+      const int32_t displaced = col_to_row[best_j];
+      col_to_row[best_j] = static_cast<int32_t>(i);
+      row_to_col[i] = static_cast<int32_t>(best_j);
+      if (displaced >= 0) {
+        row_to_col[static_cast<size_t>(displaced)] = -1;
+        unassigned.push_back(static_cast<size_t>(displaced));
+      }
+    }
+    if (eps <= eps_final) break;
+    eps = std::max(eps_final, eps / 4.0);
+  }
+
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += profit[i * n + static_cast<size_t>(row_to_col[i])];
+  }
+  return lsap_internal::FinishSolution(std::move(row_to_col), n, total);
+}
+
+}  // namespace hta

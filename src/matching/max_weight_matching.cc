@@ -1,0 +1,166 @@
+#include "matching/max_weight_matching.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hta {
+
+namespace {
+
+bool EdgeHeavier(const WeightedEdge& a, const WeightedEdge& b) {
+  if (a.weight != b.weight) return a.weight > b.weight;
+  if (a.u != b.u) return a.u < b.u;
+  return a.v < b.v;
+}
+
+GraphMatching MakeEmptyMatching(size_t vertex_count) {
+  GraphMatching m;
+  m.mate.assign(vertex_count, GraphMatching::kUnmatched);
+  return m;
+}
+
+void AddMatchedEdge(GraphMatching* m, VertexId u, VertexId v, double w) {
+  m->mate[u] = static_cast<int32_t>(v);
+  m->mate[v] = static_cast<int32_t>(u);
+  m->edges.emplace_back(std::min(u, v), std::max(u, v));
+  m->total_weight += w;
+}
+
+}  // namespace
+
+GraphMatching GreedyMaxWeightMatching(size_t vertex_count,
+                                      std::vector<WeightedEdge> edges) {
+  GraphMatching m = MakeEmptyMatching(vertex_count);
+  std::sort(edges.begin(), edges.end(), EdgeHeavier);
+  for (const WeightedEdge& e : edges) {
+    HTA_DCHECK_LT(static_cast<size_t>(e.u), vertex_count);
+    HTA_DCHECK_LT(static_cast<size_t>(e.v), vertex_count);
+    if (e.u == e.v) continue;
+    if (m.mate[e.u] == GraphMatching::kUnmatched &&
+        m.mate[e.v] == GraphMatching::kUnmatched) {
+      AddMatchedEdge(&m, e.u, e.v, e.weight);
+    }
+  }
+  return m;
+}
+
+GraphMatching GreedyMatchingOnTaskGraph(const TaskDistanceOracle& oracle) {
+  const size_t n = oracle.task_count();
+  std::vector<WeightedEdge> edges;
+  if (n >= 2) edges.reserve(n * (n - 1) / 2);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      edges.push_back(WeightedEdge{
+          static_cast<VertexId>(i), static_cast<VertexId>(j),
+          static_cast<float>(
+              oracle(static_cast<TaskIndex>(i), static_cast<TaskIndex>(j)))});
+    }
+  }
+  return GreedyMaxWeightMatching(n, std::move(edges));
+}
+
+GraphMatching PathGrowingMatching(size_t vertex_count,
+                                  const std::vector<WeightedEdge>& edges) {
+  // Adjacency lists with removal-by-flag; each vertex keeps its incident
+  // edge indices.
+  std::vector<std::vector<size_t>> adjacency(vertex_count);
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if (edges[e].u == edges[e].v) continue;
+    adjacency[edges[e].u].push_back(e);
+    adjacency[edges[e].v].push_back(e);
+  }
+  std::vector<bool> removed(vertex_count, false);
+
+  // Two alternating tentative matchings; the heavier one wins.
+  std::vector<WeightedEdge> matchings[2];
+  double weights[2] = {0.0, 0.0};
+
+  for (VertexId start = 0; start < vertex_count; ++start) {
+    if (removed[start]) continue;
+    VertexId x = start;
+    int side = 0;
+    while (true) {
+      // Heaviest incident edge to a non-removed neighbor.
+      double best_w = -1.0;
+      VertexId best_y = 0;
+      const WeightedEdge* best_edge = nullptr;
+      for (size_t ei : adjacency[x]) {
+        const WeightedEdge& e = edges[ei];
+        const VertexId y = (e.u == x) ? e.v : e.u;
+        if (removed[y]) continue;
+        if (e.weight > best_w ||
+            (e.weight == best_w && best_edge != nullptr && y < best_y)) {
+          best_w = e.weight;
+          best_y = y;
+          best_edge = &e;
+        }
+      }
+      removed[x] = true;
+      if (best_edge == nullptr) break;
+      matchings[side].push_back(*best_edge);
+      weights[side] += best_edge->weight;
+      side = 1 - side;
+      x = best_y;
+    }
+  }
+
+  const int winner = weights[0] >= weights[1] ? 0 : 1;
+  GraphMatching m = MakeEmptyMatching(vertex_count);
+  for (const WeightedEdge& e : matchings[winner]) {
+    // Paths alternate sides, so same-side edges are vertex-disjoint.
+    HTA_DCHECK(m.mate[e.u] == GraphMatching::kUnmatched);
+    HTA_DCHECK(m.mate[e.v] == GraphMatching::kUnmatched);
+    AddMatchedEdge(&m, e.u, e.v, e.weight);
+  }
+  return m;
+}
+
+namespace {
+
+void ExactMatchingSearch(const std::vector<WeightedEdge>& edges, size_t next,
+                         std::vector<int32_t>* mate, double weight_so_far,
+                         std::vector<size_t>* chosen, double* best_weight,
+                         std::vector<size_t>* best_chosen) {
+  if (weight_so_far > *best_weight) {
+    *best_weight = weight_so_far;
+    *best_chosen = *chosen;
+  }
+  for (size_t e = next; e < edges.size(); ++e) {
+    const WeightedEdge& edge = edges[e];
+    if (edge.u == edge.v) continue;
+    if ((*mate)[edge.u] != GraphMatching::kUnmatched ||
+        (*mate)[edge.v] != GraphMatching::kUnmatched) {
+      continue;
+    }
+    (*mate)[edge.u] = static_cast<int32_t>(edge.v);
+    (*mate)[edge.v] = static_cast<int32_t>(edge.u);
+    chosen->push_back(e);
+    ExactMatchingSearch(edges, e + 1, mate, weight_so_far + edge.weight,
+                        chosen, best_weight, best_chosen);
+    chosen->pop_back();
+    (*mate)[edge.u] = GraphMatching::kUnmatched;
+    (*mate)[edge.v] = GraphMatching::kUnmatched;
+  }
+}
+
+}  // namespace
+
+GraphMatching ExactMaxWeightMatchingBruteForce(
+    size_t vertex_count, const std::vector<WeightedEdge>& edges) {
+  HTA_CHECK_LE(vertex_count, size_t{12})
+      << "brute-force matching is exponential; use it only on tiny graphs";
+  std::vector<int32_t> mate(vertex_count, GraphMatching::kUnmatched);
+  std::vector<size_t> chosen;
+  std::vector<size_t> best_chosen;
+  double best_weight = 0.0;
+  ExactMatchingSearch(edges, 0, &mate, 0.0, &chosen, &best_weight,
+                      &best_chosen);
+  GraphMatching m = MakeEmptyMatching(vertex_count);
+  for (size_t e : best_chosen) {
+    AddMatchedEdge(&m, edges[e].u, edges[e].v, edges[e].weight);
+  }
+  return m;
+}
+
+}  // namespace hta

@@ -1,0 +1,40 @@
+#ifndef HTA_MATCHING_MAX_WEIGHT_MATCHING_H_
+#define HTA_MATCHING_MAX_WEIGHT_MATCHING_H_
+
+#include <vector>
+
+#include "core/distance_oracle.h"
+#include "matching/matching_types.h"
+
+namespace hta {
+
+/// GREEDYMATCHING (Section IV-C): repeatedly select the heaviest
+/// remaining edge whose endpoints are both free. A classic
+/// 1/2-approximation for maximum weight matching, O(|E| log |V|).
+///
+/// Ties are broken deterministically by (weight desc, u asc, v asc), so
+/// results are reproducible across runs and platforms.
+GraphMatching GreedyMaxWeightMatching(size_t vertex_count,
+                                      std::vector<WeightedEdge> edges);
+
+/// Greedy matching on the complete task-diversity graph B (Eq. 5):
+/// vertices are tasks, edge weights are pairwise diversities from the
+/// oracle. Materializes the O(|T|^2) edge list, as in the paper's
+/// implementation.
+GraphMatching GreedyMatchingOnTaskGraph(const TaskDistanceOracle& oracle);
+
+/// Path-growing algorithm of Drake & Hougardy: also a 1/2-approximation
+/// but linear in |E| after adjacency construction — provided as an
+/// ablation alternative to GreedyMaxWeightMatching (bench A3).
+GraphMatching PathGrowingMatching(size_t vertex_count,
+                                  const std::vector<WeightedEdge>& edges);
+
+/// Exact maximum weight matching by exhaustive search. Exponential —
+/// only valid for tiny graphs (vertex_count <= 12); used by property
+/// tests to validate the 1/2-approximation bound of the greedy methods.
+GraphMatching ExactMaxWeightMatchingBruteForce(
+    size_t vertex_count, const std::vector<WeightedEdge>& edges);
+
+}  // namespace hta
+
+#endif  // HTA_MATCHING_MAX_WEIGHT_MATCHING_H_

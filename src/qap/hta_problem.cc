@@ -1,0 +1,71 @@
+#include "qap/hta_problem.h"
+
+#include <cmath>
+#include <string>
+
+namespace hta {
+
+Status HtaProblem::ValidateShape(const std::vector<Task>* tasks,
+                                 const std::vector<Worker>* workers,
+                                 size_t xmax) {
+  HTA_CHECK(tasks != nullptr);
+  HTA_CHECK(workers != nullptr);
+  if (xmax == 0) {
+    return Status::InvalidArgument("xmax must be >= 1");
+  }
+  if (tasks->empty()) {
+    return Status::InvalidArgument("HTA needs at least one task");
+  }
+  if (workers->empty()) {
+    return Status::InvalidArgument("HTA needs at least one worker");
+  }
+  for (const Worker& w : *workers) {
+    const auto& mw = w.weights();
+    if (mw.alpha < 0.0 || mw.beta < 0.0 || mw.alpha + mw.beta <= 0.0) {
+      return Status::InvalidArgument(
+          "worker weights must be non-negative with a positive sum");
+    }
+  }
+  return Status::OK();
+}
+
+Result<HtaProblem> HtaProblem::Create(const std::vector<Task>* tasks,
+                                      const std::vector<Worker>* workers,
+                                      size_t xmax, DistanceKind kind,
+                                      bool allow_non_metric) {
+  HTA_RETURN_IF_ERROR(ValidateShape(tasks, workers, xmax));
+  if (!IsMetric(kind) && !allow_non_metric) {
+    return Status::FailedPrecondition(
+        "distance kind '" + DistanceKindName(kind) +
+        "' is not a metric; HTA approximation guarantees require the "
+        "triangle inequality (pass allow_non_metric to override)");
+  }
+  return HtaProblem(tasks, workers, xmax, TaskDistanceOracle(tasks, kind));
+}
+
+Result<HtaProblem> HtaProblem::CreateWithMatrices(
+    const std::vector<Task>* tasks, const std::vector<Worker>* workers,
+    size_t xmax, const std::vector<double>& distances,
+    const std::vector<double>& relevance) {
+  HTA_RETURN_IF_ERROR(ValidateShape(tasks, workers, xmax));
+  if (relevance.size() != tasks->size() * workers->size()) {
+    return Status::InvalidArgument(
+        "relevance matrix must be |T| x |W| = " +
+        std::to_string(tasks->size() * workers->size()) + " entries, got " +
+        std::to_string(relevance.size()));
+  }
+  for (double r : relevance) {
+    if (r < 0.0 || r > 1.0) {
+      return Status::InvalidArgument("relevance entries must be in [0, 1]");
+    }
+  }
+  HTA_ASSIGN_OR_RETURN(
+      TaskDistanceOracle oracle,
+      TaskDistanceOracle::FromDenseMatrix(tasks, DistanceKind::kJaccard,
+                                          distances));
+  HtaProblem problem(tasks, workers, xmax, std::move(oracle));
+  problem.relevance_override_ = relevance;
+  return problem;
+}
+
+}  // namespace hta

@@ -1,0 +1,81 @@
+#include "qap/qap_view.h"
+
+#include <algorithm>
+
+namespace hta {
+
+QapView::QapView(const HtaProblem* problem) : problem_(problem) {
+  HTA_CHECK(problem != nullptr);
+  n_ = std::max(problem->task_count(),
+                problem->worker_count() * problem->xmax());
+}
+
+std::vector<size_t> QapView::WorkerColumns() const {
+  const size_t count =
+      std::min(n_, problem_->worker_count() * problem_->xmax());
+  std::vector<size_t> cols(count);
+  for (size_t l = 0; l < count; ++l) cols[l] = l;
+  return cols;
+}
+
+double QapView::Objective(const std::vector<int32_t>& perm) const {
+  HTA_CHECK_EQ(perm.size(), n_);
+  // Group tasks by the worker clique their vertex lands in.
+  std::vector<std::vector<size_t>> tasks_of_worker(problem_->worker_count());
+  double linear = 0.0;
+  for (size_t k = 0; k < n_; ++k) {
+    const size_t vertex = static_cast<size_t>(perm[k]);
+    HTA_CHECK_LT(vertex, n_);
+    if (IsPaddingTask(k)) continue;
+    linear += C(k, vertex);
+    const int32_t q = WorkerOfVertex(vertex);
+    if (q >= 0) tasks_of_worker[static_cast<size_t>(q)].push_back(k);
+  }
+  double quadratic = 0.0;
+  for (size_t q = 0; q < tasks_of_worker.size(); ++q) {
+    const double alpha = problem_->workers()[q].weights().alpha;
+    const auto& members = tasks_of_worker[q];
+    double clique_diversity = 0.0;
+    for (size_t x = 0; x < members.size(); ++x) {
+      for (size_t y = x + 1; y < members.size(); ++y) {
+        clique_diversity += B(members[x], members[y]);
+      }
+    }
+    // Each unordered pair is counted twice in sum_{k != l}.
+    quadratic += 2.0 * alpha * clique_diversity;
+  }
+  return quadratic + linear;
+}
+
+DenseQapMatrices DenseQapMatrices::FromView(const QapView& view) {
+  DenseQapMatrices m;
+  m.n = view.n();
+  m.a.resize(m.n * m.n);
+  m.b.resize(m.n * m.n);
+  m.c.resize(m.n * m.n);
+  for (size_t k = 0; k < m.n; ++k) {
+    for (size_t l = 0; l < m.n; ++l) {
+      m.a[k * m.n + l] = view.A(k, l);
+      m.b[k * m.n + l] = view.B(k, l);
+      m.c[k * m.n + l] = view.C(k, l);
+    }
+  }
+  return m;
+}
+
+double DenseQapMatrices::Objective(const std::vector<int32_t>& perm) const {
+  HTA_CHECK_EQ(perm.size(), n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const size_t pk = static_cast<size_t>(perm[k]);
+    total += c[k * n + pk];
+    for (size_t l = 0; l < n; ++l) {
+      if (k == l) continue;
+      const size_t pl = static_cast<size_t>(perm[l]);
+      total += a[pk * n + pl] * b[k * n + l];
+    }
+  }
+  return total;
+}
+
+}  // namespace hta

@@ -1,0 +1,211 @@
+#include "quality/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "util/check.h"
+
+namespace hta {
+
+namespace {
+
+Status ValidateAnswers(const std::vector<AnswerRecord>& answers,
+                       uint32_t num_options) {
+  if (answers.empty()) {
+    return Status::InvalidArgument("no answers to aggregate");
+  }
+  if (num_options < 2) {
+    return Status::InvalidArgument("questions need at least two options");
+  }
+  for (const AnswerRecord& a : answers) {
+    if (a.answer >= num_options) {
+      return Status::OutOfRange(
+          "answer " + std::to_string(a.answer) + " out of range for " +
+          std::to_string(num_options) + " options");
+    }
+  }
+  return Status::OK();
+}
+
+/// Groups answer indices by question id, preserving first-seen order.
+std::vector<std::pair<uint64_t, std::vector<size_t>>> GroupByQuestion(
+    const std::vector<AnswerRecord>& answers) {
+  std::vector<std::pair<uint64_t, std::vector<size_t>>> groups;
+  std::unordered_map<uint64_t, size_t> index;
+  for (size_t i = 0; i < answers.size(); ++i) {
+    auto [it, inserted] = index.emplace(answers[i].question_id, groups.size());
+    if (inserted) {
+      groups.emplace_back(answers[i].question_id, std::vector<size_t>{});
+    }
+    groups[it->second].second.push_back(i);
+  }
+  return groups;
+}
+
+/// Picks the arg-max option of `scores` with smallest-index tie-break;
+/// returns (option, share of total score).
+std::pair<uint32_t, double> ArgMaxShare(const std::vector<double>& scores) {
+  uint32_t best = 0;
+  for (uint32_t k = 1; k < scores.size(); ++k) {
+    if (scores[k] > scores[best]) best = k;
+  }
+  double total = 0.0;
+  for (double s : scores) total += s;
+  const double share = total > 0.0 ? scores[best] / total : 0.0;
+  return {best, share};
+}
+
+}  // namespace
+
+Result<std::vector<AggregatedAnswer>> MajorityVote(
+    const std::vector<AnswerRecord>& answers, uint32_t num_options) {
+  HTA_RETURN_IF_ERROR(ValidateAnswers(answers, num_options));
+  std::vector<AggregatedAnswer> out;
+  for (const auto& [question, indices] : GroupByQuestion(answers)) {
+    std::vector<double> counts(num_options, 0.0);
+    for (size_t i : indices) counts[answers[i].answer] += 1.0;
+    const auto [winner, share] = ArgMaxShare(counts);
+    out.push_back(AggregatedAnswer{question, winner, share});
+  }
+  return out;
+}
+
+Result<std::vector<AggregatedAnswer>> WeightedVote(
+    const std::vector<AnswerRecord>& answers, uint32_t num_options,
+    const std::unordered_map<uint64_t, double>& reliability,
+    double default_reliability) {
+  HTA_RETURN_IF_ERROR(ValidateAnswers(answers, num_options));
+  if (default_reliability <= 0.0 || default_reliability >= 1.0) {
+    return Status::InvalidArgument("default_reliability must be in (0, 1)");
+  }
+  auto weight_of = [&](uint64_t worker) {
+    auto it = reliability.find(worker);
+    double p = it != reliability.end() ? it->second : default_reliability;
+    p = std::clamp(p, 0.05, 0.99);
+    const double wrong = (1.0 - p) / (static_cast<double>(num_options) - 1.0);
+    // Log-odds of a correct ballot vs one specific wrong option.
+    return std::log(p / std::max(wrong, 1e-9));
+  };
+  std::vector<AggregatedAnswer> out;
+  for (const auto& [question, indices] : GroupByQuestion(answers)) {
+    std::vector<double> scores(num_options, 0.0);
+    for (size_t i : indices) {
+      scores[answers[i].answer] += weight_of(answers[i].worker_id);
+    }
+    // Scores can be negative for adversarial workers; shift to keep the
+    // share interpretable.
+    const double min_score = *std::min_element(scores.begin(), scores.end());
+    if (min_score < 0.0) {
+      for (double& s : scores) s -= min_score;
+    }
+    const auto [winner, share] = ArgMaxShare(scores);
+    out.push_back(AggregatedAnswer{question, winner, share});
+  }
+  return out;
+}
+
+Result<EmEstimate> EstimateDawidSkene(const std::vector<AnswerRecord>& answers,
+                                      uint32_t num_options,
+                                      const EmOptions& options) {
+  HTA_RETURN_IF_ERROR(ValidateAnswers(answers, num_options));
+  if (options.max_iterations == 0) {
+    return Status::InvalidArgument("EM needs at least one iteration");
+  }
+
+  const auto groups = GroupByQuestion(answers);
+  // Posterior over options per question, initialized from majority.
+  std::unordered_map<uint64_t, std::vector<double>> posterior;
+  for (const auto& [question, indices] : groups) {
+    std::vector<double> counts(num_options, options.smoothing);
+    for (size_t i : indices) counts[answers[i].answer] += 1.0;
+    double total = 0.0;
+    for (double c : counts) total += c;
+    for (double& c : counts) c /= total;
+    posterior.emplace(question, std::move(counts));
+  }
+
+  EmEstimate estimate;
+  // Initialize reliabilities at a mildly-better-than-chance prior.
+  for (const AnswerRecord& a : answers) {
+    estimate.worker_reliability.emplace(a.worker_id, 0.7);
+  }
+
+  const double chance = 1.0 / static_cast<double>(num_options);
+  for (estimate.iterations = 1;
+       estimate.iterations <= options.max_iterations; ++estimate.iterations) {
+    // M-step: reliability = expected fraction of matches with the
+    // posterior mode mass.
+    std::unordered_map<uint64_t, double> match(estimate.worker_reliability.size());
+    std::unordered_map<uint64_t, double> total(estimate.worker_reliability.size());
+    for (const AnswerRecord& a : answers) {
+      match[a.worker_id] += posterior.at(a.question_id)[a.answer];
+      total[a.worker_id] += 1.0;
+    }
+    double max_change = 0.0;
+    for (auto& [worker, p] : estimate.worker_reliability) {
+      const double updated =
+          (match[worker] + options.smoothing * 0.7) /
+          (total[worker] + options.smoothing);
+      max_change = std::max(max_change, std::abs(updated - p));
+      p = std::clamp(updated, 0.05, 0.99);
+    }
+
+    // E-step: recompute posteriors from reliabilities.
+    for (const auto& [question, indices] : groups) {
+      std::vector<double> log_scores(num_options, 0.0);
+      for (size_t i : indices) {
+        const double p = estimate.worker_reliability.at(answers[i].worker_id);
+        const double wrong =
+            (1.0 - p) / (static_cast<double>(num_options) - 1.0);
+        for (uint32_t k = 0; k < num_options; ++k) {
+          log_scores[k] +=
+              std::log(std::max(k == answers[i].answer ? p : wrong, 1e-12));
+        }
+      }
+      const double max_log =
+          *std::max_element(log_scores.begin(), log_scores.end());
+      double norm = 0.0;
+      std::vector<double>& post = posterior.at(question);
+      for (uint32_t k = 0; k < num_options; ++k) {
+        post[k] = std::exp(log_scores[k] - max_log);
+        norm += post[k];
+      }
+      for (double& v : post) v /= norm;
+    }
+
+    if (max_change < options.tolerance) {
+      estimate.converged = true;
+      break;
+    }
+  }
+  (void)chance;
+
+  estimate.answers.reserve(groups.size());
+  for (const auto& [question, indices] : groups) {
+    const auto [winner, share] = ArgMaxShare(posterior.at(question));
+    estimate.answers.push_back(AggregatedAnswer{question, winner, share});
+  }
+  return estimate;
+}
+
+Result<double> AggregationAccuracy(
+    const std::vector<AggregatedAnswer>& aggregated,
+    const std::unordered_map<uint64_t, uint32_t>& ground_truth) {
+  size_t scored = 0;
+  size_t correct = 0;
+  for (const AggregatedAnswer& a : aggregated) {
+    auto it = ground_truth.find(a.question_id);
+    if (it == ground_truth.end()) continue;
+    ++scored;
+    if (a.answer == it->second) ++correct;
+  }
+  if (scored == 0) {
+    return Status::InvalidArgument(
+        "no aggregated question has ground truth");
+  }
+  return static_cast<double>(correct) / static_cast<double>(scored);
+}
+
+}  // namespace hta

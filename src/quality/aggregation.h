@@ -1,0 +1,88 @@
+#ifndef HTA_QUALITY_AGGREGATION_H_
+#define HTA_QUALITY_AGGREGATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace hta {
+
+/// Answer aggregation for redundantly-completed questions — the quality
+/// measurement substrate of a crowdsourcing platform. The paper scores
+/// individual contributions against CrowdFlower ground truth; a
+/// production deployment additionally assigns each question to several
+/// workers and aggregates, which is what this module provides:
+///  * plain majority vote,
+///  * reliability-weighted vote (log-odds weights),
+///  * one-coin Dawid-Skene EM that estimates per-worker reliability
+///    without ground truth.
+///
+/// Questions are categorical with `num_options` choices; answers are
+/// option indices.
+
+/// One worker's answer to one question.
+struct AnswerRecord {
+  uint64_t question_id = 0;
+  uint64_t worker_id = 0;
+  uint32_t answer = 0;  ///< Option index in [0, num_options).
+};
+
+/// Aggregated decision for a question.
+struct AggregatedAnswer {
+  uint64_t question_id = 0;
+  uint32_t answer = 0;
+  double confidence = 0.0;  ///< Posterior/weight share of the winner.
+};
+
+/// Result of an EM run.
+struct EmEstimate {
+  /// Per-worker probability of answering correctly (the one-coin
+  /// model's reliability).
+  std::unordered_map<uint64_t, double> worker_reliability;
+  std::vector<AggregatedAnswer> answers;
+  size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Majority vote per question; ties broken toward the smallest option
+/// index (deterministic). Fails if `answers` is empty or any answer is
+/// out of range.
+Result<std::vector<AggregatedAnswer>> MajorityVote(
+    const std::vector<AnswerRecord>& answers, uint32_t num_options);
+
+/// Weighted vote: each worker's ballot counts log(p(1-e)/(e(1-p)))
+/// with p their supplied reliability and e = (1-p)/(num_options-1)
+/// spread over wrong options; workers missing from `reliability` count
+/// with weight from `default_reliability`. Weights are clamped so that
+/// adversarial (p < chance) workers vote against their own answer at
+/// most mildly.
+Result<std::vector<AggregatedAnswer>> WeightedVote(
+    const std::vector<AnswerRecord>& answers, uint32_t num_options,
+    const std::unordered_map<uint64_t, double>& reliability,
+    double default_reliability = 0.7);
+
+/// One-coin Dawid-Skene EM: alternates between estimating posterior
+/// answer distributions per question and per-worker reliabilities,
+/// starting from majority vote. Options:
+struct EmOptions {
+  size_t max_iterations = 50;
+  double tolerance = 1e-6;      ///< Max reliability change for convergence.
+  double smoothing = 1.0;       ///< Laplace smoothing pseudo-counts.
+};
+
+Result<EmEstimate> EstimateDawidSkene(const std::vector<AnswerRecord>& answers,
+                                      uint32_t num_options,
+                                      const EmOptions& options = EmOptions{});
+
+/// Fraction of aggregated answers matching a ground-truth map (question
+/// id -> correct option). Questions absent from the map are skipped;
+/// fails if none overlap.
+Result<double> AggregationAccuracy(
+    const std::vector<AggregatedAnswer>& aggregated,
+    const std::unordered_map<uint64_t, uint32_t>& ground_truth);
+
+}  // namespace hta
+
+#endif  // HTA_QUALITY_AGGREGATION_H_

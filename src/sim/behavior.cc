@@ -1,0 +1,149 @@
+#include "sim/behavior.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace hta {
+
+BehaviorParams SampleBehaviorParams(Rng* rng) {
+  BehaviorParams p;
+  p.alpha_latent = rng->Uniform(0.15, 0.85);
+  p.base_accuracy = rng->Uniform(0.72, 0.84);
+  p.relevance_accuracy_boost = rng->Uniform(0.04, 0.10);
+  p.boredom_accuracy_penalty = rng->Uniform(0.28, 0.42);
+  p.base_task_seconds = rng->Uniform(20.0, 40.0);
+  p.choice_overhead_seconds = rng->Uniform(22.0, 38.0);
+  p.base_leave_hazard = rng->Uniform(0.055, 0.085);
+  return p;
+}
+
+BehavioralWorker::BehavioralWorker(const std::vector<Task>* catalog,
+                                   DistanceKind kind, Worker profile,
+                                   BehaviorParams params, Rng rng)
+    : catalog_(catalog),
+      kind_(kind),
+      profile_(std::move(profile)),
+      params_(params),
+      rng_(rng) {
+  HTA_CHECK(catalog != nullptr);
+}
+
+double BehavioralWorker::DistanceTo(size_t a, size_t b) const {
+  return PairwiseTaskDiversity(kind_, (*catalog_)[a], (*catalog_)[b]);
+}
+
+double BehavioralWorker::Relevance(size_t catalog_task) const {
+  return TaskRelevance(kind_, (*catalog_)[catalog_task], profile_);
+}
+
+double BehavioralWorker::RecentDiversityGain(size_t candidate) const {
+  if (history_.empty()) return 0.5;  // Neutral: nothing to differ from.
+  const size_t window = std::min(history_.size(), kRecentWindow);
+  double sum = 0.0;
+  for (size_t k = 0; k < window; ++k) {
+    sum += DistanceTo(candidate, history_[history_.size() - 1 - k]);
+  }
+  return sum / static_cast<double>(window);
+}
+
+double BehavioralWorker::LatentUtility(size_t catalog_task) const {
+  const double alpha = params_.alpha_latent;
+  return alpha * RecentDiversityGain(catalog_task) +
+         (1.0 - alpha) * Relevance(catalog_task);
+}
+
+size_t BehavioralWorker::ChooseTask(const std::vector<size_t>& displayed) {
+  HTA_CHECK(!displayed.empty());
+  double best_score = -std::numeric_limits<double>::infinity();
+  size_t best_task = displayed[0];
+  for (size_t t : displayed) {
+    const double score =
+        LatentUtility(t) + params_.choice_noise * rng_.NextGumbel();
+    if (score > best_score) {
+      best_score = score;
+      best_task = t;
+    }
+  }
+  return best_task;
+}
+
+double BehavioralWorker::CompletionSeconds(
+    size_t catalog_task, const std::vector<size_t>& displayed) {
+  // Choice overhead: scanning a diverse option set costs time, and the
+  // scan ends once something appealing is found — so the overhead
+  // shrinks with the utility of the task eventually chosen. A diverse
+  // wall of unappealing tasks is the slowest case (the paper's "too
+  // much diversity results in overhead in choosing tasks").
+  double displayed_diversity = 0.0;
+  if (displayed.size() >= 2) {
+    double sum = 0.0;
+    size_t pairs = 0;
+    for (size_t i = 0; i < displayed.size(); ++i) {
+      for (size_t j = i + 1; j < displayed.size(); ++j) {
+        sum += DistanceTo(displayed[i], displayed[j]);
+        ++pairs;
+      }
+    }
+    displayed_diversity = sum / static_cast<double>(pairs);
+  }
+  const double appeal = std::clamp(LatentUtility(catalog_task), 0.0, 1.0);
+  last_choice_effort_ = displayed_diversity * (1.0 - appeal);
+  const double choice_seconds =
+      params_.choice_overhead_seconds * last_choice_effort_;
+  const double work_seconds =
+      params_.base_task_seconds *
+      std::exp(params_.time_jitter_sigma * rng_.NextGaussian());
+  return choice_seconds + work_seconds;
+}
+
+bool BehavioralWorker::AnswerQuestionCorrectly(size_t catalog_task) {
+  const double accuracy = std::clamp(
+      params_.base_accuracy +
+          params_.relevance_accuracy_boost * Relevance(catalog_task) -
+          params_.boredom_accuracy_penalty * boredom_,
+      0.05, 0.98);
+  return rng_.NextBool(accuracy);
+}
+
+void BehavioralWorker::RecordCompletion(size_t catalog_task) {
+  // Monotony is judged against the recent window, not just the last
+  // task: alternating between two near-duplicate clusters is still
+  // repetitive work. The window mean keeps a genuinely mixed sequence
+  // below the boredom threshold.
+  double similarity = 0.0;
+  const size_t window = std::min(history_.size(), kRecentWindow);
+  for (size_t k = 0; k < window; ++k) {
+    similarity +=
+        1.0 - DistanceTo(catalog_task, history_[history_.size() - 1 - k]);
+  }
+  if (window > 0) similarity /= static_cast<double>(window);
+  // Sensitivity to monotony scales with the worker's own diversity
+  // preference (Hackman-Oldham skill variety): diversity-seekers are
+  // exactly the workers demotivated by repetitive work, while
+  // relevance-seekers tolerate it.
+  const double sensitivity = 2.0 * params_.alpha_latent;
+  if (similarity > params_.boredom_threshold) {
+    boredom_ += sensitivity * params_.boredom_gain *
+                (similarity - params_.boredom_threshold);
+  } else {
+    boredom_ -= params_.boredom_decay * (params_.boredom_threshold - similarity);
+  }
+  boredom_ = std::clamp(boredom_, 0.0, 1.0);
+  recent_utility_ = LatentUtility(catalog_task);
+  history_.push_back(catalog_task);
+}
+
+bool BehavioralWorker::DecidesToLeave() {
+  const double hazard = std::clamp(
+      params_.base_leave_hazard -
+          params_.utility_retention * recent_utility_ +
+          params_.boredom_leave_hazard * boredom_ +
+          params_.choice_fatigue_hazard * last_choice_effort_,
+      0.002, 0.5);
+  return rng_.NextBool(hazard);
+}
+
+}  // namespace hta

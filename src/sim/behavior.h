@@ -1,0 +1,120 @@
+#ifndef HTA_SIM_BEHAVIOR_H_
+#define HTA_SIM_BEHAVIOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/task.h"
+#include "core/worker.h"
+#include "util/rng.h"
+
+namespace hta {
+
+/// Latent parameters of a simulated worker's behavior.
+///
+/// The model replaces the paper's live AMT workers with mechanisms the
+/// paper itself hypothesizes (Section V-C):
+///  * preference   — a latent (alpha*, beta*) drives which displayed
+///                   task the worker picks next (logit choice on
+///                   marginal diversity + relevance);
+///  * boredom      — "providing relevant tasks only may induce
+///                   boredom": a boredom level rises when consecutive
+///                   tasks are similar and depresses answer accuracy;
+///  * choice cost  — "too much diversity results in overhead in
+///                   choosing tasks": per-task time grows with the
+///                   diversity of the displayed set;
+///  * retention    — the per-task hazard of quitting falls with the
+///                   realized utility of recent picks and rises with
+///                   boredom.
+///
+/// The headline strategy ranking of Fig. 5 is *emergent* from these
+/// mechanisms, not hard-coded.
+struct BehaviorParams {
+  double alpha_latent = 0.5;         ///< True diversity preference in [0,1].
+  double base_accuracy = 0.78;       ///< Accuracy floor component.
+  double relevance_accuracy_boost = 0.07;  ///< Accuracy gain at rel = 1.
+  double boredom_accuracy_penalty = 0.35;  ///< Accuracy loss at boredom = 1.
+  double boredom_gain = 0.5;         ///< Boredom added per unit similarity
+                                     ///< above the threshold, scaled by
+                                     ///< the worker's diversity
+                                     ///< preference (2 * alpha_latent).
+  double boredom_decay = 0.1;        ///< Boredom removed per unit
+                                     ///< dissimilarity below threshold.
+  double boredom_threshold = 0.42;   ///< Similarity above this bores.
+  double base_task_seconds = 28.0;   ///< Median work time per task.
+  double time_jitter_sigma = 0.35;   ///< Lognormal sigma on work time.
+  double choice_overhead_seconds = 30.0;  ///< Extra seconds at displayed
+                                          ///< diversity = 1.
+  double base_leave_hazard = 0.07;   ///< Quit probability per task at
+                                     ///< neutral utility.
+  double utility_retention = 0.18;   ///< Hazard reduction at utility 1.
+  double boredom_leave_hazard = 0.09;  ///< Extra hazard at boredom 1.
+  double choice_fatigue_hazard = 0.04;  ///< Extra hazard at choice effort
+                                        ///< 1 (decision fatigue: a diverse
+                                        ///< displayed set with nothing
+                                        ///< appealing in it).
+  double choice_noise = 0.15;        ///< Gumbel temperature of the pick.
+};
+
+/// Draws per-worker behavior parameters around the defaults, with the
+/// latent preference alpha* uniform in [0.15, 0.85].
+BehaviorParams SampleBehaviorParams(Rng* rng);
+
+/// Stateful behavioral worker driven by the crowd simulator.
+class BehavioralWorker {
+ public:
+  BehavioralWorker(const std::vector<Task>* catalog, DistanceKind kind,
+                   Worker profile, BehaviorParams params, Rng rng);
+
+  const Worker& profile() const { return profile_; }
+  const BehaviorParams& params() const { return params_; }
+  double boredom() const { return boredom_; }
+  size_t completed_count() const { return history_.size(); }
+
+  /// Picks the next task among the displayed catalog indices (logit on
+  /// latent utility). Requires a non-empty choice set.
+  size_t ChooseTask(const std::vector<size_t>& displayed);
+
+  /// Seconds spent completing `catalog_task`, including the choice
+  /// overhead induced by the displayed set's diversity.
+  double CompletionSeconds(size_t catalog_task,
+                           const std::vector<size_t>& displayed);
+
+  /// Simulates answering one question of the task; updates nothing.
+  bool AnswerQuestionCorrectly(size_t catalog_task);
+
+  /// Records the completion: updates boredom, history and recent
+  /// utility.
+  void RecordCompletion(size_t catalog_task);
+
+  /// Whether the worker abandons the session after this task.
+  bool DecidesToLeave();
+
+  /// The latent utility the worker derives from a candidate task given
+  /// their history (used by tests).
+  double LatentUtility(size_t catalog_task) const;
+
+ private:
+  double DistanceTo(size_t a, size_t b) const;
+  double RecentDiversityGain(size_t candidate) const;
+  double Relevance(size_t catalog_task) const;
+
+  const std::vector<Task>* catalog_;
+  DistanceKind kind_;
+  Worker profile_;
+  BehaviorParams params_;
+  Rng rng_;
+
+  std::vector<size_t> history_;  // Completed catalog tasks, in order.
+  double boredom_ = 0.0;
+  double recent_utility_ = 0.5;
+  double last_choice_effort_ = 0.0;  // Diversity x (1 - appeal) last seen.
+
+  /// History window used for the marginal-diversity part of utility.
+  static constexpr size_t kRecentWindow = 3;
+};
+
+}  // namespace hta
+
+#endif  // HTA_SIM_BEHAVIOR_H_

@@ -1,0 +1,129 @@
+#include "sim/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hta {
+
+namespace {
+
+/// Realistic AMT/CrowdFlower-flavored group titles, cycled across
+/// groups (Section V-C lists task kinds like tweet classification,
+/// image transcription, sentiment analysis, entity resolution).
+constexpr const char* kKindNames[] = {
+    "tweet classification",      "web search relevance",
+    "image transcription",       "sentiment analysis",
+    "entity resolution",         "news information extraction",
+    "audio transcription",       "video tagging",
+    "product categorization",    "receipt digitization",
+    "logo moderation",           "address verification",
+    "language identification",   "spam detection",
+    "survey about shopping",     "handwriting recognition",
+    "medical text highlighting", "sports highlights tagging",
+    "recipe ingredient listing", "business listing dedup",
+    "emoji intent labeling",     "map point validation",
+};
+constexpr size_t kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+std::vector<KeywordId> DrawDistinctKeywords(const ZipfSampler& zipf,
+                                            size_t count, Rng* rng) {
+  std::vector<KeywordId> out;
+  std::vector<bool> seen(zipf.n(), false);
+  size_t guard = 0;
+  while (out.size() < count && guard < count * 200 + 100) {
+    ++guard;
+    const size_t id = zipf.Sample(rng->NextDouble());
+    if (!seen[id]) {
+      seen[id] = true;
+      out.push_back(static_cast<KeywordId>(id));
+    }
+  }
+  // Zipf tails can make rejection slow for large draws; fill linearly.
+  for (size_t id = 0; out.size() < count && id < zipf.n(); ++id) {
+    if (!seen[id]) {
+      seen[id] = true;
+      out.push_back(static_cast<KeywordId>(id));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  HTA_CHECK_GT(n, size_t{0});
+  HTA_CHECK_GE(exponent, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (double& v : cdf_) v /= total;
+}
+
+size_t ZipfSampler::Sample(double u) const {
+  HTA_DCHECK(u >= 0.0 && u < 1.0);
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<size_t>(std::min<std::ptrdiff_t>(
+      it - cdf_.begin(), static_cast<std::ptrdiff_t>(cdf_.size()) - 1));
+}
+
+Result<Catalog> GenerateCatalog(const CatalogOptions& options) {
+  if (options.vocabulary_size == 0) {
+    return Status::InvalidArgument("vocabulary_size must be > 0");
+  }
+  if (options.num_groups == 0 || options.tasks_per_group == 0) {
+    return Status::InvalidArgument("need at least one group and one task");
+  }
+  if (options.keywords_per_group + options.extra_keywords_per_task >
+      options.vocabulary_size) {
+    return Status::InvalidArgument(
+        "group profile + jitter exceeds vocabulary size");
+  }
+  if (options.min_reward_usd > options.max_reward_usd ||
+      options.min_reward_usd < 0.0) {
+    return Status::InvalidArgument("invalid reward range");
+  }
+  if (options.min_questions > options.max_questions ||
+      options.min_questions == 0) {
+    return Status::InvalidArgument("invalid question range");
+  }
+
+  Catalog catalog;
+  for (size_t i = 0; i < options.vocabulary_size; ++i) {
+    catalog.space.Intern("kw" + std::to_string(i));
+  }
+
+  Rng rng(options.seed);
+  const ZipfSampler zipf(options.vocabulary_size, options.zipf_exponent);
+
+  catalog.tasks.reserve(options.num_groups * options.tasks_per_group);
+  catalog.questions_per_task.reserve(catalog.tasks.capacity());
+  uint64_t next_id = 0;
+  for (size_t g = 0; g < options.num_groups; ++g) {
+    const std::vector<KeywordId> profile =
+        DrawDistinctKeywords(zipf, options.keywords_per_group, &rng);
+    const std::string group_title =
+        std::string(kKindNames[g % kKindCount]) + " #" + std::to_string(g);
+    const double group_reward =
+        rng.Uniform(options.min_reward_usd, options.max_reward_usd);
+    for (size_t t = 0; t < options.tasks_per_group; ++t) {
+      KeywordVector keywords(options.vocabulary_size, profile);
+      for (size_t e = 0; e < options.extra_keywords_per_task; ++e) {
+        keywords.Set(
+            static_cast<KeywordId>(zipf.Sample(rng.NextDouble())));
+      }
+      catalog.tasks.emplace_back(next_id++, std::move(keywords), group_title,
+                                 static_cast<TaskGroupId>(g), group_reward);
+      catalog.questions_per_task.push_back(static_cast<uint16_t>(
+          rng.UniformInt(static_cast<int64_t>(options.min_questions),
+                         static_cast<int64_t>(options.max_questions))));
+    }
+  }
+  return catalog;
+}
+
+}  // namespace hta

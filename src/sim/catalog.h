@@ -1,0 +1,77 @@
+#ifndef HTA_SIM_CATALOG_H_
+#define HTA_SIM_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/keyword_space.h"
+#include "core/task.h"
+#include "util/result.h"
+
+namespace hta {
+
+/// Parameters of the synthetic AMT-like catalog.
+///
+/// The paper's offline experiments crawl 152,221 task groups from AMT
+/// and sweep (#task groups) x (#tasks per group); the proprietary crawl
+/// is replaced by a generator exposing exactly those structural knobs:
+/// each group has a keyword profile (its "HIT group" metadata) shared
+/// by all member tasks with small per-task jitter, and keyword
+/// popularity follows a Zipf law as in real marketplaces.
+struct CatalogOptions {
+  size_t num_groups = 200;
+  size_t tasks_per_group = 20;
+  /// Keyword vocabulary size R. The generator interns "kw0".."kw{R-1}"
+  /// plus nothing else, so universe_size == vocabulary_size.
+  size_t vocabulary_size = 1000;
+  /// Keywords in a group's profile.
+  size_t keywords_per_group = 6;
+  /// Extra per-task keywords drawn on top of the group profile.
+  size_t extra_keywords_per_task = 2;
+  /// Zipf exponent for keyword popularity (0 = uniform).
+  double zipf_exponent = 1.05;
+  /// Micro-task reward range (the paper's tasks pay $0.01-$0.12).
+  double min_reward_usd = 0.01;
+  double max_reward_usd = 0.12;
+  /// Questions per task (a task may have several; Section V-C).
+  size_t min_questions = 1;
+  size_t max_questions = 3;
+  uint64_t seed = 7;
+};
+
+/// A generated catalog: the keyword universe, the tasks, and per-task
+/// question counts (ground truth is implicit — the simulator draws
+/// answer correctness per question).
+struct Catalog {
+  KeywordSpace space;
+  std::vector<Task> tasks;
+  std::vector<uint16_t> questions_per_task;
+
+  size_t size() const { return tasks.size(); }
+};
+
+/// Generates a catalog. Fails with InvalidArgument on degenerate
+/// options (empty vocabulary, zero groups/tasks, profile larger than
+/// the vocabulary, reward/question ranges inverted).
+Result<Catalog> GenerateCatalog(const CatalogOptions& options);
+
+/// Samples from {0, .., n-1} with Zipf(s) popularity. Exposed for the
+/// worker generator and tests.
+class ZipfSampler {
+ public:
+  /// `exponent` >= 0; 0 degenerates to uniform.
+  ZipfSampler(size_t n, double exponent);
+
+  /// Draws one index using `u` uniform in [0, 1).
+  size_t Sample(double u) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace hta
+
+#endif  // HTA_SIM_CATALOG_H_

@@ -1,0 +1,167 @@
+#include "sim/concurrent_deployment.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace hta {
+
+namespace {
+
+enum class EventKind { kArrival, kTaskDone };
+
+struct Event {
+  double minute;
+  size_t worker_slot;
+  EventKind kind;
+  uint64_t sequence;  // Tie-break for deterministic ordering.
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.minute != b.minute) return a.minute > b.minute;
+    return a.sequence > b.sequence;
+  }
+};
+
+struct WorkerRun {
+  uint64_t service_id = 0;
+  double arrival_minute = 0.0;
+  double busy_until = 0.0;
+  size_t current_task = 0;
+  bool active = false;
+  SessionResult session;
+};
+
+}  // namespace
+
+DeploymentResult RunConcurrentDeployment(
+    AssignmentService* service, const Catalog& catalog,
+    std::vector<BehavioralWorker>* workers,
+    const ConcurrentDeploymentOptions& options) {
+  HTA_CHECK(service != nullptr);
+  HTA_CHECK(workers != nullptr);
+  HTA_CHECK_GT(options.arrival_rate_per_min, 0.0);
+
+  DeploymentResult result;
+  result.sessions.resize(workers->size());
+  if (workers->empty()) return result;
+
+  Rng arrivals_rng(options.seed);
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
+  std::vector<WorkerRun> runs(workers->size());
+  uint64_t sequence = 0;
+
+  double arrival = 0.0;
+  for (size_t slot = 0; slot < workers->size(); ++slot) {
+    arrival += arrivals_rng.NextExponential(options.arrival_rate_per_min);
+    runs[slot].arrival_minute = arrival;
+    queue.push(Event{arrival, slot, EventKind::kArrival, sequence++});
+  }
+
+  size_t concurrent = 0;
+  size_t peak_concurrent = 0;
+
+  // Ends the session; records duration and frees the worker's slot.
+  auto end_session = [&](size_t slot, double minute, bool voluntary) {
+    WorkerRun& run = runs[slot];
+    if (!run.active) return;
+    run.active = false;
+    run.session.worker_id = run.service_id;
+    run.session.left_voluntarily = voluntary;
+    run.session.duration_minutes = std::min(
+        minute - run.arrival_minute, options.session.max_minutes);
+    service->Deregister(run.service_id);
+    result.sessions[slot] = run.session;
+    result.deployment_minutes = std::max(result.deployment_minutes, minute);
+    --concurrent;
+  };
+
+  // Picks the next task for the worker and schedules its completion; if
+  // nothing is displayed or the session cap would be crossed, ends the
+  // session instead.
+  auto schedule_next = [&](size_t slot, double minute) {
+    WorkerRun& run = runs[slot];
+    BehavioralWorker& worker = (*workers)[slot];
+    const std::vector<size_t> displayed = service->Displayed(run.service_id);
+    if (displayed.empty()) {
+      end_session(slot, minute, /*voluntary=*/false);
+      return;
+    }
+    const size_t chosen = worker.ChooseTask(displayed);
+    const double spent =
+        worker.CompletionSeconds(chosen, displayed) / 60.0;
+    const double done_at = minute + spent;
+    if (done_at - run.arrival_minute > options.session.max_minutes) {
+      // The allotted time expires mid-task; the task is not submitted.
+      end_session(slot, run.arrival_minute + options.session.max_minutes,
+                  /*voluntary=*/false);
+      return;
+    }
+    run.current_task = chosen;
+    run.busy_until = done_at;
+    queue.push(Event{done_at, slot, EventKind::kTaskDone, sequence++});
+  };
+
+  while (!queue.empty()) {
+    const Event event = queue.top();
+    queue.pop();
+    WorkerRun& run = runs[event.worker_slot];
+    BehavioralWorker& worker = (*workers)[event.worker_slot];
+
+    switch (event.kind) {
+      case EventKind::kArrival: {
+        service->AdvanceClock(event.minute);
+        run.service_id =
+            service->RegisterWorker(worker.profile().interests());
+        run.active = true;
+        ++concurrent;
+        peak_concurrent = std::max(peak_concurrent, concurrent);
+        schedule_next(event.worker_slot, event.minute);
+        break;
+      }
+      case EventKind::kTaskDone: {
+        if (!run.active) break;
+        service->AdvanceClock(event.minute);
+        const size_t task = run.current_task;
+        CompletionEvent completion;
+        completion.minute = event.minute - run.arrival_minute;
+        completion.worker_id = run.service_id;
+        completion.catalog_task = task;
+        completion.questions =
+            static_cast<int>(catalog.questions_per_task[task]);
+        for (int q = 0; q < completion.questions; ++q) {
+          if (worker.AnswerQuestionCorrectly(task)) ++completion.correct;
+        }
+        worker.RecordCompletion(task);
+        run.session.events.push_back(completion);
+        HTA_CHECK(service->NotifyCompleted(run.service_id, task).ok());
+        if (worker.DecidesToLeave()) {
+          end_session(event.worker_slot, event.minute, /*voluntary=*/true);
+        } else {
+          schedule_next(event.worker_slot, event.minute);
+        }
+        break;
+      }
+    }
+  }
+
+  // Deployment aggregate stats.
+  result.iterations = service->iteration_count();
+  double pooled_sum = 0.0;
+  size_t pooled_count = 0;
+  for (const IterationRecord& record : service->iterations()) {
+    if (record.task_count > 0) {  // Solver-backed iteration.
+      pooled_sum += static_cast<double>(record.worker_count);
+      ++pooled_count;
+    }
+  }
+  result.mean_workers_per_iteration =
+      pooled_count > 0 ? pooled_sum / static_cast<double>(pooled_count) : 0.0;
+  result.max_concurrent_sessions = static_cast<double>(peak_concurrent);
+  return result;
+}
+
+}  // namespace hta

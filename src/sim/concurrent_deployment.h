@@ -1,0 +1,45 @@
+#ifndef HTA_SIM_CONCURRENT_DEPLOYMENT_H_
+#define HTA_SIM_CONCURRENT_DEPLOYMENT_H_
+
+#include <vector>
+
+#include "sim/crowd_sim.h"
+
+namespace hta {
+
+/// Configuration of a concurrent deployment: workers arrive over time
+/// (Poisson process) and their sessions overlap, so an assignment
+/// iteration can pool several due workers into one HTA solve — the
+/// W^i sets of Problem 1 with |W^i| > 1, as in the paper's live AMT
+/// deployment where multiple HITs ran at once. (`RunSession` by
+/// contrast runs sessions one at a time.)
+struct ConcurrentDeploymentOptions {
+  /// Mean worker arrivals per minute.
+  double arrival_rate_per_min = 0.75;
+  SessionConfig session;
+  uint64_t seed = 99;
+};
+
+/// Deployment-level diagnostics on top of the per-session results.
+struct DeploymentResult {
+  std::vector<SessionResult> sessions;  ///< One per worker, arrival order.
+  double deployment_minutes = 0.0;      ///< Wall-clock until the last
+                                        ///< session ended.
+  size_t iterations = 0;                ///< Service iterations performed.
+  double mean_workers_per_iteration = 0.0;  ///< Mean |W^i| over
+                                            ///< solver-backed iterations.
+  double max_concurrent_sessions = 0.0;     ///< Peak simultaneous workers.
+};
+
+/// Runs a concurrent deployment: each worker in `workers` arrives at a
+/// Poisson-process time and works a session against the shared
+/// `service`. Event-driven; deterministic given the option seed and the
+/// workers' own streams.
+DeploymentResult RunConcurrentDeployment(
+    AssignmentService* service, const Catalog& catalog,
+    std::vector<BehavioralWorker>* workers,
+    const ConcurrentDeploymentOptions& options);
+
+}  // namespace hta
+
+#endif  // HTA_SIM_CONCURRENT_DEPLOYMENT_H_

@@ -1,0 +1,52 @@
+#ifndef HTA_SIM_CROWD_SIM_H_
+#define HTA_SIM_CROWD_SIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/assignment_service.h"
+#include "sim/behavior.h"
+#include "sim/catalog.h"
+#include "util/result.h"
+
+namespace hta {
+
+/// One completed task within a session.
+struct CompletionEvent {
+  double minute = 0.0;       ///< Session-relative completion time.
+  uint64_t worker_id = 0;    ///< Service-assigned worker id.
+  size_t catalog_task = 0;
+  int questions = 0;
+  int correct = 0;
+};
+
+/// One worker's work session (one HIT in the paper's deployment).
+struct SessionResult {
+  uint64_t worker_id = 0;
+  double duration_minutes = 0.0;
+  bool left_voluntarily = false;  ///< false = hit the session time cap.
+  std::vector<CompletionEvent> events;
+
+  size_t tasks_completed() const { return events.size(); }
+  size_t questions_total() const;
+  size_t questions_correct() const;
+};
+
+/// Session limits (the paper's HITs allot 30 minutes).
+struct SessionConfig {
+  double max_minutes = 30.0;
+};
+
+/// Runs one worker session against an AssignmentService: repeatedly
+/// choose a displayed task with the behavioral model, spend time,
+/// answer its questions, notify the service, and possibly leave.
+///
+/// The service outlives the call and accumulates state across sessions
+/// (the task pool depletes, as on a real platform).
+SessionResult RunSession(AssignmentService* service, const Catalog& catalog,
+                         BehavioralWorker* worker,
+                         const SessionConfig& config);
+
+}  // namespace hta
+
+#endif  // HTA_SIM_CROWD_SIM_H_

@@ -1,0 +1,64 @@
+#include "sim/worker_gen.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hta {
+
+Result<std::vector<Worker>> GenerateWorkers(const WorkerGenOptions& options,
+                                            const Catalog& catalog) {
+  const size_t universe = catalog.space.size();
+  if (options.keywords_per_worker > universe) {
+    return Status::InvalidArgument(
+        "keywords_per_worker exceeds vocabulary size");
+  }
+  if (options.group_affinity < 0.0 || options.group_affinity > 1.0) {
+    return Status::InvalidArgument("group_affinity must be in [0, 1]");
+  }
+  Rng rng(options.seed);
+  std::vector<Worker> workers;
+  workers.reserve(options.count);
+  for (size_t q = 0; q < options.count; ++q) {
+    KeywordVector interests(universe);
+    size_t from_group = 0;
+    if (options.group_affinity > 0.0 && !catalog.tasks.empty()) {
+      // Adopt keywords of a random task's group profile.
+      const size_t anchor =
+          static_cast<size_t>(rng.NextBounded(catalog.tasks.size()));
+      std::vector<KeywordId> anchor_ids =
+          catalog.tasks[anchor].keywords().ToIds();
+      rng.Shuffle(&anchor_ids);
+      const size_t want = static_cast<size_t>(
+          options.group_affinity *
+          static_cast<double>(options.keywords_per_worker));
+      for (KeywordId id : anchor_ids) {
+        if (from_group >= want) break;
+        if (!interests.Test(id)) {
+          interests.Set(id);
+          ++from_group;
+        }
+      }
+    }
+    size_t have = from_group;
+    size_t guard = 0;
+    while (have < options.keywords_per_worker && guard < 100000) {
+      ++guard;
+      const KeywordId id = static_cast<KeywordId>(rng.NextBounded(universe));
+      if (!interests.Test(id)) {
+        interests.Set(id);
+        ++have;
+      }
+    }
+    MotivationWeights weights{0.5, 0.5};
+    if (options.random_weights) {
+      const double alpha = rng.NextDouble();
+      weights = MotivationWeights{alpha, 1.0 - alpha};
+    }
+    workers.emplace_back(static_cast<uint64_t>(q), std::move(interests),
+                         weights);
+  }
+  return workers;
+}
+
+}  // namespace hta

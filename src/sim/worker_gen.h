@@ -1,0 +1,38 @@
+#ifndef HTA_SIM_WORKER_GEN_H_
+#define HTA_SIM_WORKER_GEN_H_
+
+#include <vector>
+
+#include "core/worker.h"
+#include "sim/catalog.h"
+#include "util/result.h"
+
+namespace hta {
+
+/// Synthetic worker population, per Section V-B: "For each worker w, we
+/// use a pseudo-random uniform generator to choose five keywords ...
+/// for each worker, we pick a random alpha and beta in [0, 1]".
+struct WorkerGenOptions {
+  size_t count = 200;
+  size_t keywords_per_worker = 5;
+  /// If true, (alpha, beta) is a random point with alpha uniform in
+  /// [0, 1] and beta = 1 - alpha (the simulated "previous iteration"
+  /// estimate); if false all workers start at the (0.5, 0.5) prior.
+  bool random_weights = true;
+  /// Fraction of each worker's keywords drawn from a randomly chosen
+  /// task group profile rather than the raw vocabulary. 0 reproduces
+  /// the paper's uniform choice; > 0 makes relevance structurally
+  /// meaningful for the online simulation.
+  double group_affinity = 0.0;
+  uint64_t seed = 11;
+};
+
+/// Generates workers over the catalog's keyword universe. Worker ids
+/// run from 0 to count-1. Fails if keywords_per_worker exceeds the
+/// vocabulary.
+Result<std::vector<Worker>> GenerateWorkers(const WorkerGenOptions& options,
+                                            const Catalog& catalog);
+
+}  // namespace hta
+
+#endif  // HTA_SIM_WORKER_GEN_H_

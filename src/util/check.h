@@ -1,0 +1,89 @@
+#ifndef HTA_UTIL_CHECK_H_
+#define HTA_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hta {
+namespace internal {
+
+/// Stream sink used by HTA_CHECK: accumulates the failure message and
+/// aborts the process when destroyed.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Turns the streamed CheckFailure chain into a void expression so that
+/// the ternary in HTA_CHECK type-checks. operator& binds looser than
+/// operator<<, so the whole message is built before voidification.
+struct Voidify {
+  void operator&(CheckFailure&) {}
+  void operator&(CheckFailure&&) {}
+};
+
+}  // namespace internal
+}  // namespace hta
+
+/// Aborts with a diagnostic when `condition` is false. For programming
+/// errors (broken invariants, out-of-contract calls), not for
+/// recoverable failures — those return hta::Status. Supports streaming
+/// extra context: HTA_CHECK(n > 0) << "n was " << n;
+#define HTA_CHECK(condition)                                          \
+  (condition) ? static_cast<void>(0)                                  \
+              : ::hta::internal::Voidify() &                          \
+                    ::hta::internal::CheckFailure(__FILE__, __LINE__, \
+                                                  #condition)
+
+#define HTA_CHECK_OP_(a, b, op)                                        \
+  ((a)op(b)) ? static_cast<void>(0)                                   \
+             : ::hta::internal::Voidify() &                           \
+                   ::hta::internal::CheckFailure(__FILE__, __LINE__,  \
+                                                 #a " " #op " " #b)   \
+                       << " (" << (a) << " vs " << (b) << ") "
+
+#define HTA_CHECK_EQ(a, b) HTA_CHECK_OP_(a, b, ==)
+#define HTA_CHECK_NE(a, b) HTA_CHECK_OP_(a, b, !=)
+#define HTA_CHECK_LT(a, b) HTA_CHECK_OP_(a, b, <)
+#define HTA_CHECK_LE(a, b) HTA_CHECK_OP_(a, b, <=)
+#define HTA_CHECK_GT(a, b) HTA_CHECK_OP_(a, b, >)
+#define HTA_CHECK_GE(a, b) HTA_CHECK_OP_(a, b, >=)
+
+/// Debug-only checks, compiled out in NDEBUG builds (used on hot paths).
+/// DCHECKs do not support message streaming.
+#ifdef NDEBUG
+#define HTA_DCHECK(condition) static_cast<void>(0)
+#define HTA_DCHECK_EQ(a, b) static_cast<void>(0)
+#define HTA_DCHECK_NE(a, b) static_cast<void>(0)
+#define HTA_DCHECK_LT(a, b) static_cast<void>(0)
+#define HTA_DCHECK_LE(a, b) static_cast<void>(0)
+#define HTA_DCHECK_GT(a, b) static_cast<void>(0)
+#define HTA_DCHECK_GE(a, b) static_cast<void>(0)
+#else
+#define HTA_DCHECK(condition) HTA_CHECK(condition)
+#define HTA_DCHECK_EQ(a, b) HTA_CHECK_EQ(a, b)
+#define HTA_DCHECK_NE(a, b) HTA_CHECK_NE(a, b)
+#define HTA_DCHECK_LT(a, b) HTA_CHECK_LT(a, b)
+#define HTA_DCHECK_LE(a, b) HTA_CHECK_LE(a, b)
+#define HTA_DCHECK_GT(a, b) HTA_CHECK_GT(a, b)
+#define HTA_DCHECK_GE(a, b) HTA_CHECK_GE(a, b)
+#endif
+
+#endif  // HTA_UTIL_CHECK_H_

@@ -1,0 +1,43 @@
+#include "util/env.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hta {
+
+std::string GetEnvOr(const std::string& name, const std::string& fallback) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr || value[0] == '\0') return fallback;
+  return value;
+}
+
+int64_t GetEnvIntOr(const std::string& name, int64_t fallback) {
+  const std::string raw = GetEnvOr(name, "");
+  if (raw.empty()) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw.c_str(), &end, 10);
+  if (end == raw.c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+BenchScale GetBenchScale() {
+  std::string raw = GetEnvOr("HTA_BENCH_SCALE", "default");
+  for (char& ch : raw) ch = static_cast<char>(std::tolower(ch));
+  if (raw == "smoke") return BenchScale::kSmoke;
+  if (raw == "paper") return BenchScale::kPaper;
+  return BenchScale::kDefault;
+}
+
+std::string BenchScaleName(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke:
+      return "smoke";
+    case BenchScale::kPaper:
+      return "paper";
+    case BenchScale::kDefault:
+      break;
+  }
+  return "default";
+}
+
+}  // namespace hta

@@ -1,0 +1,37 @@
+#ifndef HTA_UTIL_ENV_H_
+#define HTA_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hta {
+
+/// Benchmark scale presets, selected via the HTA_BENCH_SCALE environment
+/// variable. The paper's offline experiments run at sizes (|T| up to
+/// 10,000 with a cubic-time Hungarian phase) that take minutes per point
+/// on commodity hardware; `kDefault` shrinks the sweeps while preserving
+/// the asymptotic shape, `kPaper` reproduces the paper's exact
+/// parameters, `kSmoke` is a seconds-long CI setting.
+enum class BenchScale {
+  kSmoke,
+  kDefault,
+  kPaper,
+};
+
+/// Reads HTA_BENCH_SCALE ("smoke", "default", "paper"; case-insensitive).
+/// Unset or unrecognized values map to kDefault.
+BenchScale GetBenchScale();
+
+/// Human-readable name of a scale ("smoke"/"default"/"paper").
+std::string BenchScaleName(BenchScale scale);
+
+/// Reads an environment variable, or `fallback` if unset/empty.
+std::string GetEnvOr(const std::string& name, const std::string& fallback);
+
+/// Reads an integer environment variable, or `fallback` if unset or
+/// unparsable.
+int64_t GetEnvIntOr(const std::string& name, int64_t fallback);
+
+}  // namespace hta
+
+#endif  // HTA_UTIL_ENV_H_

@@ -1,0 +1,83 @@
+#ifndef HTA_UTIL_RESULT_H_
+#define HTA_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace hta {
+
+/// Result<T> holds either a value of type `T` or a non-OK `Status`.
+///
+/// This is the value-returning counterpart of `Status`: public APIs that
+/// compute something fallible return `Result<T>` instead of throwing.
+///
+/// Accessing the value of an errored Result is a programming error and
+/// aborts via HTA_CHECK; callers must test `ok()` first (or use
+/// `ValueOr`).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. The status must not be
+  /// OK: an OK status carries no value and would leave the Result empty.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    HTA_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Abort if `!ok()`.
+  const T& value() const& {
+    HTA_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    HTA_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    HTA_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, otherwise `fallback`.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace hta
+
+/// Assigns the value of a Result expression to `lhs`, or returns its
+/// error status from the enclosing function (which must return Status
+/// or Result<U>).
+#define HTA_ASSIGN_OR_RETURN(lhs, expr)               \
+  HTA_ASSIGN_OR_RETURN_IMPL_(                          \
+      HTA_CONCAT_(_hta_result_, __LINE__), lhs, expr)
+
+#define HTA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#define HTA_CONCAT_(a, b) HTA_CONCAT_IMPL_(a, b)
+#define HTA_CONCAT_IMPL_(a, b) a##b
+
+#endif  // HTA_UTIL_RESULT_H_

@@ -1,0 +1,40 @@
+#include "util/rng.h"
+
+#include <unordered_set>
+
+namespace hta {
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  HTA_CHECK_LE(k, n);
+  std::vector<size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // Dense case: partial Fisher-Yates over [0, n).
+  if (k * 3 >= n) {
+    std::vector<size_t> pool(n);
+    for (size_t i = 0; i < n; ++i) pool[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + static_cast<size_t>(NextBounded(n - i));
+      std::swap(pool[i], pool[j]);
+      out.push_back(pool[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling with a seen-set.
+  std::unordered_set<size_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    const size_t candidate = static_cast<size_t>(NextBounded(n));
+    if (seen.insert(candidate).second) out.push_back(candidate);
+  }
+  return out;
+}
+
+Rng Rng::Fork(uint64_t stream) const {
+  // Mix the current state with the stream id through SplitMix64 so that
+  // forks are decorrelated from the parent and from each other.
+  SplitMix64 sm(state_[0] ^ (state_[3] + 0x9e3779b97f4a7c15ULL * (stream + 1)));
+  return Rng(sm.Next());
+}
+
+}  // namespace hta

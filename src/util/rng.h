@@ -1,0 +1,175 @@
+#ifndef HTA_UTIL_RNG_H_
+#define HTA_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace hta {
+
+/// SplitMix64: tiny, fast 64-bit generator used to seed Xoshiro256**.
+/// Reference: Sebastiano Vigna, public domain.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality 64-bit PRNG. Deterministic across
+/// platforms (unlike std::mt19937 distributions), which keeps every
+/// experiment in this repository reproducible from its seed.
+///
+/// Satisfies UniformRandomBitGenerator, so it can drive <random>
+/// distributions if ever needed; the convenience members below are the
+/// preferred, portable way to draw values.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator. Any 64-bit value (including 0) is valid; the
+  /// internal state is expanded with SplitMix64 per Vigna's guidance.
+  explicit Rng(uint64_t seed = 0xda3e39cb94b95bdbULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    HTA_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses Lemire's unbiased
+  /// bounded generation.
+  uint64_t NextBounded(uint64_t n) {
+    HTA_DCHECK(n > 0);
+    // Rejection sampling on the top bits via 128-bit multiply.
+    __uint128_t m = static_cast<__uint128_t>(Next()) * n;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < n) {
+      const uint64_t threshold = (0 - n) % n;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * n;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    HTA_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Marsaglia polar method (deterministic given
+  /// the stream).
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
+
+  /// Exponential draw with the given rate (mean 1/rate).
+  double NextExponential(double rate) {
+    HTA_DCHECK(rate > 0.0);
+    double u;
+    do {
+      u = NextDouble();
+    } while (u == 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Gumbel(0, 1) draw; used for logit (softmax) choice models.
+  double NextGumbel() {
+    double u;
+    do {
+      u = NextDouble();
+    } while (u == 0.0);
+    return -std::log(-std::log(u));
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(NextBounded(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (order not specified).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; `stream` distinguishes
+  /// siblings. Used to give each simulated worker its own stream so
+  /// that adding workers does not perturb existing ones.
+  Rng Fork(uint64_t stream) const;
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace hta
+
+#endif  // HTA_UTIL_RNG_H_

@@ -1,0 +1,172 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace hta {
+
+SampleSummary Summarize(const std::vector<double>& values) {
+  SampleSummary s;
+  s.n = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values[0];
+  s.max = values[0];
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  double ss = 0.0;
+  for (double v : values) ss += (v - s.mean) * (v - s.mean);
+  s.stddev = s.n > 1 ? std::sqrt(ss / static_cast<double>(s.n - 1)) : 0.0;
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t mid = s.n / 2;
+  s.median = (s.n % 2 == 1) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+Result<double> Percentile(std::vector<double> values, double pct) {
+  if (values.empty()) {
+    return Status::InvalidArgument("Percentile of empty sample");
+  }
+  if (pct < 0.0 || pct > 100.0) {
+    return Status::InvalidArgument("percentile must be in [0, 100]");
+  }
+  std::sort(values.begin(), values.end());
+  const double rank = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(std::floor(rank));
+  const size_t hi = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double NormalCdf(double z) {
+  return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+Result<TestResult> TwoProportionZTest(size_t successes_a, size_t trials_a,
+                                      size_t successes_b, size_t trials_b) {
+  if (trials_a == 0 || trials_b == 0) {
+    return Status::InvalidArgument("two-proportion Z-test needs trials > 0");
+  }
+  if (successes_a > trials_a || successes_b > trials_b) {
+    return Status::InvalidArgument("successes exceed trials");
+  }
+  const double na = static_cast<double>(trials_a);
+  const double nb = static_cast<double>(trials_b);
+  const double pa = static_cast<double>(successes_a) / na;
+  const double pb = static_cast<double>(successes_b) / nb;
+  const double pooled =
+      static_cast<double>(successes_a + successes_b) / (na + nb);
+  const double se = std::sqrt(pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb));
+  TestResult r;
+  if (se == 0.0) {
+    r.statistic = 0.0;
+    r.p_value = 1.0;
+    return r;
+  }
+  r.statistic = (pa - pb) / se;
+  r.p_value = 2.0 * (1.0 - NormalCdf(std::abs(r.statistic)));
+  return r;
+}
+
+Result<TestResult> MannWhitneyUTest(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  if (a.empty() || b.empty()) {
+    return Status::InvalidArgument("Mann-Whitney U needs non-empty samples");
+  }
+  // Rank the pooled sample with midranks for ties.
+  struct Tagged {
+    double value;
+    bool from_a;
+  };
+  std::vector<Tagged> pooled;
+  pooled.reserve(a.size() + b.size());
+  for (double v : a) pooled.push_back({v, true});
+  for (double v : b) pooled.push_back({v, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  const double n = n1 + n2;
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  size_t i = 0;
+  while (i < pooled.size()) {
+    size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) ++j;
+    // Tied block [i, j): midrank (ranks are 1-based).
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);
+    const double t = static_cast<double>(j - i);
+    tie_correction += t * t * t - t;
+    for (size_t k = i; k < j; ++k) {
+      if (pooled[k].from_a) rank_sum_a += midrank;
+    }
+    i = j;
+  }
+
+  const double u_a = rank_sum_a - n1 * (n1 + 1.0) / 2.0;
+  const double mu = n1 * n2 / 2.0;
+  const double sigma2 =
+      n1 * n2 / 12.0 * ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  TestResult r;
+  r.statistic = u_a;
+  if (sigma2 <= 0.0) {
+    r.p_value = 1.0;
+    return r;
+  }
+  // Continuity correction.
+  const double z = (u_a - mu - (u_a > mu ? 0.5 : -0.5)) / std::sqrt(sigma2);
+  r.p_value = 2.0 * (1.0 - NormalCdf(std::abs(z)));
+  r.p_value = std::min(1.0, r.p_value);
+  return r;
+}
+
+Result<BootstrapInterval> BootstrapMeanCi(const std::vector<double>& values,
+                                          double level, int resamples,
+                                          Rng* rng) {
+  if (values.empty()) {
+    return Status::InvalidArgument("bootstrap of empty sample");
+  }
+  if (level <= 0.0 || level >= 1.0) {
+    return Status::InvalidArgument("bootstrap level must be in (0, 1)");
+  }
+  if (resamples < 1) {
+    return Status::InvalidArgument("bootstrap needs >= 1 resample");
+  }
+  std::vector<double> means;
+  means.reserve(static_cast<size_t>(resamples));
+  const size_t n = values.size();
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      sum += values[static_cast<size_t>(rng->NextBounded(n))];
+    }
+    means.push_back(sum / static_cast<double>(n));
+  }
+  const double alpha = 1.0 - level;
+  HTA_ASSIGN_OR_RETURN(const double lo, Percentile(means, 100.0 * alpha / 2.0));
+  HTA_ASSIGN_OR_RETURN(const double hi,
+                       Percentile(means, 100.0 * (1.0 - alpha / 2.0)));
+  return BootstrapInterval{lo, hi};
+}
+
+void RunningStat::Add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace hta

@@ -1,0 +1,83 @@
+#ifndef HTA_UTIL_STATS_H_
+#define HTA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace hta {
+
+/// Descriptive summary of a sample.
+struct SampleSummary {
+  size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes the summary of `values`. Empty input yields an all-zero
+/// summary with n == 0.
+SampleSummary Summarize(const std::vector<double>& values);
+
+/// Percentile in [0, 100] via linear interpolation between order
+/// statistics. Requires a non-empty sample.
+Result<double> Percentile(std::vector<double> values, double pct);
+
+/// Standard normal cumulative distribution function.
+double NormalCdf(double z);
+
+/// Outcome of a two-sided hypothesis test.
+struct TestResult {
+  double statistic = 0.0;  ///< Z or U statistic depending on the test.
+  double p_value = 1.0;    ///< Two-sided p-value.
+};
+
+/// Two-proportion Z-test (pooled), as used in the paper (Section V-C) to
+/// compare per-strategy fractions of correct answers.
+///
+/// `successes_a / trials_a` vs `successes_b / trials_b`. Requires
+/// positive trial counts.
+Result<TestResult> TwoProportionZTest(size_t successes_a, size_t trials_a,
+                                      size_t successes_b, size_t trials_b);
+
+/// Mann-Whitney U test with normal approximation and tie correction, as
+/// used in the paper to compare per-session task counts and session
+/// durations. Requires both samples non-empty.
+Result<TestResult> MannWhitneyUTest(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// Percentile-bootstrap confidence interval for the mean.
+struct BootstrapInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// `level` is the coverage (e.g. 0.95). Requires a non-empty sample and
+/// level in (0, 1).
+Result<BootstrapInterval> BootstrapMeanCi(const std::vector<double>& values,
+                                          double level, int resamples,
+                                          Rng* rng);
+
+/// Online accumulator for streaming mean/variance (Welford).
+class RunningStat {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1); 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace hta
+
+#endif  // HTA_UTIL_STATS_H_

@@ -1,0 +1,108 @@
+#ifndef HTA_UTIL_STATUS_H_
+#define HTA_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hta {
+
+/// Canonical error codes for recoverable failures, modeled after the
+/// error spaces used by production database codebases (Arrow, RocksDB).
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+};
+
+/// Returns a stable, human-readable name for a status code
+/// (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A Status holds the outcome of an operation that can fail in a
+/// recoverable way: either OK, or an error code plus a message.
+///
+/// `libhta` does not throw exceptions across API boundaries; fallible
+/// public entry points return `Status` (or `Result<T>`, see result.h).
+/// Programming errors — broken invariants, out-of-contract calls — use
+/// `HTA_CHECK` instead and abort.
+///
+/// The class is cheap to copy in the OK case (empty message) and cheap
+/// to move always.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code.
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace hta
+
+/// Evaluates `expr` (a Status expression); if it is not OK, returns it
+/// from the enclosing function. Use in functions returning Status.
+#define HTA_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::hta::Status _hta_status = (expr);           \
+    if (!_hta_status.ok()) return _hta_status;    \
+  } while (false)
+
+#endif  // HTA_UTIL_STATUS_H_

@@ -1,0 +1,53 @@
+#ifndef HTA_UTIL_TABLE_H_
+#define HTA_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hta {
+
+/// Column-aligned plain-text table writer used by every benchmark
+/// harness to print paper figure/table series in a uniform format.
+///
+///   TableWriter t({"|T|", "hta-app (s)", "hta-gre (s)"});
+///   t.AddRow({"4000", "12.1", "3.4"});
+///   t.Print(std::cout);
+///
+/// Cells are strings; use the Fmt* helpers for numbers so that widths
+/// stay stable across rows. `ToCsv` renders the same data as CSV for
+/// downstream plotting.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends a row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  size_t row_count() const { return rows_.size(); }
+
+  /// Prints the aligned table with a header underline.
+  void Print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote/newline
+  /// are quoted, quotes doubled).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting ("12.345").
+std::string FmtDouble(double v, int precision = 3);
+
+/// Integer formatting.
+std::string FmtInt(long long v);
+
+/// Percentage formatting ("81.9%").
+std::string FmtPercent(double fraction, int precision = 1);
+
+}  // namespace hta
+
+#endif  // HTA_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+#ifndef HTA_UTIL_TIMER_H_
+#define HTA_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace hta {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses to
+/// time algorithm phases (matching vs LSAP, as in Fig. 2a).
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the origin to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hta
+
+#endif  // HTA_UTIL_TIMER_H_

@@ -1,0 +1,90 @@
+#include "core/distance_oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+std::vector<Task> RandomTasks(size_t n, size_t universe, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    KeywordVector v(universe);
+    const size_t bits = 2 + rng.NextBounded(6);
+    for (size_t b = 0; b < bits; ++b) {
+      v.Set(static_cast<KeywordId>(rng.NextBounded(universe)));
+    }
+    tasks.emplace_back(i, std::move(v));
+  }
+  return tasks;
+}
+
+TEST(DistanceOracleTest, OnTheFlyMatchesDirectComputation) {
+  const std::vector<Task> tasks = RandomTasks(20, 64, 1);
+  const TaskDistanceOracle oracle(&tasks, DistanceKind::kJaccard);
+  EXPECT_FALSE(oracle.is_precomputed());
+  for (TaskIndex i = 0; i < 20; ++i) {
+    for (TaskIndex j = 0; j < 20; ++j) {
+      EXPECT_DOUBLE_EQ(
+          oracle(i, j),
+          i == j ? 0.0
+                 : PairwiseTaskDiversity(DistanceKind::kJaccard, tasks[i],
+                                         tasks[j]));
+    }
+  }
+}
+
+TEST(DistanceOracleTest, PrecomputedMatchesOnTheFly) {
+  const std::vector<Task> tasks = RandomTasks(30, 64, 2);
+  const TaskDistanceOracle fly(&tasks, DistanceKind::kJaccard);
+  auto pre = TaskDistanceOracle::Precomputed(&tasks, DistanceKind::kJaccard);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_TRUE(pre->is_precomputed());
+  for (TaskIndex i = 0; i < 30; ++i) {
+    for (TaskIndex j = 0; j < 30; ++j) {
+      EXPECT_NEAR((*pre)(i, j), fly(i, j), 1e-6);  // float cache.
+    }
+  }
+}
+
+TEST(DistanceOracleTest, SymmetricAndZeroDiagonal) {
+  const std::vector<Task> tasks = RandomTasks(15, 64, 3);
+  auto pre = TaskDistanceOracle::Precomputed(&tasks, DistanceKind::kHamming);
+  ASSERT_TRUE(pre.ok());
+  for (TaskIndex i = 0; i < 15; ++i) {
+    EXPECT_EQ((*pre)(i, i), 0.0);
+    for (TaskIndex j = 0; j < 15; ++j) {
+      EXPECT_EQ((*pre)(i, j), (*pre)(j, i));
+    }
+  }
+}
+
+TEST(DistanceOracleTest, PrecomputedHonorsMemoryLimit) {
+  const std::vector<Task> tasks = RandomTasks(100, 64, 4);
+  // 100*99/2 floats = 19,800 bytes > 1,000-byte budget.
+  auto pre = TaskDistanceOracle::Precomputed(&tasks, DistanceKind::kJaccard,
+                                             /*max_cache_bytes=*/1000);
+  EXPECT_FALSE(pre.ok());
+  EXPECT_EQ(pre.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(DistanceOracleTest, ReportsKindAndCount) {
+  const std::vector<Task> tasks = RandomTasks(5, 64, 5);
+  const TaskDistanceOracle oracle(&tasks, DistanceKind::kCosineAngular);
+  EXPECT_EQ(oracle.kind(), DistanceKind::kCosineAngular);
+  EXPECT_EQ(oracle.task_count(), 5u);
+  EXPECT_EQ(&oracle.tasks(), &tasks);
+}
+
+TEST(DistanceOracleTest, SingleTask) {
+  const std::vector<Task> tasks = RandomTasks(1, 64, 6);
+  auto pre = TaskDistanceOracle::Precomputed(&tasks, DistanceKind::kJaccard);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ((*pre)(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace hta

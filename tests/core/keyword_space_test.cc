@@ -1,0 +1,78 @@
+#include "core/keyword_space.h"
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+TEST(KeywordSpaceTest, StartsEmpty) {
+  KeywordSpace space;
+  EXPECT_EQ(space.size(), 0u);
+  EXPECT_FALSE(space.Contains("audio"));
+}
+
+TEST(KeywordSpaceTest, InternAssignsDenseIds) {
+  KeywordSpace space;
+  EXPECT_EQ(space.Intern("audio"), 0u);
+  EXPECT_EQ(space.Intern("english"), 1u);
+  EXPECT_EQ(space.Intern("news"), 2u);
+  EXPECT_EQ(space.size(), 3u);
+}
+
+TEST(KeywordSpaceTest, InternIsIdempotent) {
+  KeywordSpace space;
+  const KeywordId a = space.Intern("tagging");
+  const KeywordId b = space.Intern("tagging");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(KeywordSpaceTest, FindLocatesInterned) {
+  KeywordSpace space;
+  space.Intern("audio");
+  const KeywordId id = space.Intern("sentiment analysis");
+  auto found = space.Find("sentiment analysis");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(*found, id);
+}
+
+TEST(KeywordSpaceTest, FindReportsNotFound) {
+  KeywordSpace space;
+  space.Intern("audio");
+  auto missing = space.Find("video");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(KeywordSpaceTest, NameRoundTrips) {
+  KeywordSpace space;
+  const KeywordId id = space.Intern("google street view");
+  EXPECT_EQ(space.Name(id), "google street view");
+}
+
+TEST(KeywordSpaceTest, ContainsAfterIntern) {
+  KeywordSpace space;
+  space.Intern("english");
+  EXPECT_TRUE(space.Contains("english"));
+  EXPECT_FALSE(space.Contains("English"));  // Case sensitive.
+}
+
+TEST(KeywordSpaceDeathTest, NameOutOfRangeAborts) {
+  KeywordSpace space;
+  space.Intern("one");
+  EXPECT_DEATH({ (void)space.Name(5); }, "CHECK failed");
+}
+
+TEST(KeywordSpaceTest, ManyKeywords) {
+  KeywordSpace space;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(space.Intern("kw" + std::to_string(i)),
+              static_cast<KeywordId>(i));
+  }
+  EXPECT_EQ(space.size(), 1000u);
+  EXPECT_EQ(space.Find("kw999").value(), 999u);
+  EXPECT_EQ(space.Name(500), "kw500");
+}
+
+}  // namespace
+}  // namespace hta

@@ -1,0 +1,144 @@
+#include "core/keyword_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+TEST(KeywordVectorTest, EmptyVector) {
+  KeywordVector v(100);
+  EXPECT_EQ(v.universe_size(), 100u);
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_TRUE(v.Empty());
+  EXPECT_FALSE(v.Test(0));
+  EXPECT_FALSE(v.Test(99));
+}
+
+TEST(KeywordVectorTest, SetTestClear) {
+  KeywordVector v(100);
+  v.Set(3);
+  v.Set(64);  // Crosses block boundary.
+  v.Set(99);
+  EXPECT_TRUE(v.Test(3));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(99));
+  EXPECT_FALSE(v.Test(4));
+  EXPECT_EQ(v.Count(), 3u);
+  v.Clear(64);
+  EXPECT_FALSE(v.Test(64));
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(KeywordVectorTest, InitializerListConstruction) {
+  KeywordVector v(10, {1, 3, 7});
+  EXPECT_EQ(v.Count(), 3u);
+  EXPECT_TRUE(v.Test(1));
+  EXPECT_TRUE(v.Test(3));
+  EXPECT_TRUE(v.Test(7));
+}
+
+TEST(KeywordVectorTest, VectorConstruction) {
+  std::vector<KeywordId> ids{0, 9};
+  KeywordVector v(10, ids);
+  EXPECT_EQ(v.ToIds(), ids);
+}
+
+TEST(KeywordVectorTest, SetIsIdempotent) {
+  KeywordVector v(10);
+  v.Set(5);
+  v.Set(5);
+  EXPECT_EQ(v.Count(), 1u);
+}
+
+TEST(KeywordVectorTest, IntersectionCount) {
+  KeywordVector a(128, {1, 2, 3, 70});
+  KeywordVector b(128, {2, 3, 4, 71});
+  EXPECT_EQ(KeywordVector::IntersectionCount(a, b), 2u);
+}
+
+TEST(KeywordVectorTest, UnionCount) {
+  KeywordVector a(128, {1, 2, 3, 70});
+  KeywordVector b(128, {2, 3, 4, 71});
+  EXPECT_EQ(KeywordVector::UnionCount(a, b), 6u);
+}
+
+TEST(KeywordVectorTest, SymmetricDifferenceCount) {
+  KeywordVector a(128, {1, 2, 3, 70});
+  KeywordVector b(128, {2, 3, 4, 71});
+  EXPECT_EQ(KeywordVector::SymmetricDifferenceCount(a, b), 4u);
+}
+
+TEST(KeywordVectorTest, SetIdentities) {
+  // |A| + |B| == |A ∪ B| + |A ∩ B| for random vectors.
+  Rng rng(12);
+  for (int trial = 0; trial < 200; ++trial) {
+    KeywordVector a(200);
+    KeywordVector b(200);
+    for (int k = 0; k < 20; ++k) {
+      a.Set(static_cast<KeywordId>(rng.NextBounded(200)));
+      b.Set(static_cast<KeywordId>(rng.NextBounded(200)));
+    }
+    EXPECT_EQ(a.Count() + b.Count(),
+              KeywordVector::UnionCount(a, b) +
+                  KeywordVector::IntersectionCount(a, b));
+    EXPECT_EQ(KeywordVector::SymmetricDifferenceCount(a, b),
+              KeywordVector::UnionCount(a, b) -
+                  KeywordVector::IntersectionCount(a, b));
+  }
+}
+
+TEST(KeywordVectorTest, ToIdsSortedAscending) {
+  KeywordVector v(300, {255, 0, 64, 128, 299});
+  const std::vector<KeywordId> ids = v.ToIds();
+  ASSERT_EQ(ids.size(), 5u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 64u);
+  EXPECT_EQ(ids[2], 128u);
+  EXPECT_EQ(ids[3], 255u);
+  EXPECT_EQ(ids[4], 299u);
+}
+
+TEST(KeywordVectorTest, ToStringRendersSet) {
+  KeywordVector v(10, {2, 5});
+  EXPECT_EQ(v.ToString(), "{2, 5}");
+  EXPECT_EQ(KeywordVector(4).ToString(), "{}");
+}
+
+TEST(KeywordVectorTest, EqualityRequiresSameUniverseAndBits) {
+  KeywordVector a(10, {1});
+  KeywordVector b(10, {1});
+  KeywordVector c(11, {1});
+  KeywordVector d(10, {2});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == d);
+}
+
+TEST(KeywordVectorTest, ZeroUniverse) {
+  KeywordVector v(0);
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_TRUE(v.Empty());
+  EXPECT_TRUE(v.ToIds().empty());
+}
+
+TEST(KeywordVectorTest, ExactBlockBoundaryUniverse) {
+  KeywordVector v(64);
+  v.Set(63);
+  EXPECT_TRUE(v.Test(63));
+  EXPECT_EQ(v.Count(), 1u);
+  KeywordVector w(128);
+  w.Set(127);
+  EXPECT_EQ(w.ToIds().back(), 127u);
+}
+
+#ifndef NDEBUG
+TEST(KeywordVectorDeathTest, OutOfRangeSetAbortsInDebug) {
+  KeywordVector v(10);
+  EXPECT_DEATH({ v.Set(10); }, "CHECK failed");
+}
+#endif
+
+}  // namespace
+}  // namespace hta

@@ -1,0 +1,135 @@
+#include "core/motivation.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+class MotivationTest : public ::testing::Test {
+ protected:
+  MotivationTest() {
+    // Three tasks with known pairwise Jaccard distances.
+    tasks_.emplace_back(0, KeywordVector(64, {1, 2}));
+    tasks_.emplace_back(1, KeywordVector(64, {2, 3}));
+    tasks_.emplace_back(2, KeywordVector(64, {5, 6}));
+    oracle_ = std::make_unique<TaskDistanceOracle>(&tasks_,
+                                                   DistanceKind::kJaccard);
+  }
+
+  std::vector<Task> tasks_;
+  std::unique_ptr<TaskDistanceOracle> oracle_;
+};
+
+TEST_F(MotivationTest, SetDiversitySumsPairs) {
+  // d(0,1) = 2/3, d(0,2) = 1, d(1,2) = 1.
+  EXPECT_NEAR(SetDiversity({0, 1, 2}, *oracle_), 2.0 / 3.0 + 1.0 + 1.0,
+              1e-12);
+}
+
+TEST_F(MotivationTest, SetDiversityOfSingletonAndEmpty) {
+  EXPECT_DOUBLE_EQ(SetDiversity({0}, *oracle_), 0.0);
+  EXPECT_DOUBLE_EQ(SetDiversity({}, *oracle_), 0.0);
+}
+
+TEST_F(MotivationTest, SetRelevanceSumsPerTask) {
+  const Worker worker(0, KeywordVector(64, {1, 2}));
+  // rel(t0) = 1, rel(t1) = 1 - 2/3 = 1/3, rel(t2) = 0.
+  EXPECT_NEAR(
+      SetRelevance({0, 1, 2}, tasks_, worker, DistanceKind::kJaccard),
+      1.0 + 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(MotivationTest, MotivationEquationThree) {
+  const Worker worker(0, KeywordVector(64, {1, 2}),
+                      MotivationWeights{0.3, 0.7});
+  const TaskBundle bundle{0, 1, 2};
+  const double td = SetDiversity(bundle, *oracle_);
+  const double tr =
+      SetRelevance(bundle, tasks_, worker, DistanceKind::kJaccard);
+  const double expected = 2.0 * 0.3 * td + 0.7 * 2.0 * tr;
+  EXPECT_NEAR(Motivation(bundle, worker, *oracle_), expected, 1e-12);
+}
+
+TEST_F(MotivationTest, EmptyBundleHasZeroMotivation) {
+  const Worker worker(0, KeywordVector(64, {1}));
+  EXPECT_DOUBLE_EQ(Motivation({}, worker, *oracle_), 0.0);
+}
+
+TEST_F(MotivationTest, SingletonBundleHasZeroMotivation) {
+  // |T'| - 1 == 0 kills the relevance term and there are no pairs.
+  const Worker worker(0, KeywordVector(64, {1, 2}),
+                      MotivationWeights{0.0, 1.0});
+  EXPECT_DOUBLE_EQ(Motivation({0}, worker, *oracle_), 0.0);
+}
+
+TEST_F(MotivationTest, PureDiversityWorkerIgnoresRelevance) {
+  const Worker div_worker(0, KeywordVector(64, {1, 2}),
+                          MotivationWeights::DiversityOnly());
+  const TaskBundle bundle{0, 1, 2};
+  EXPECT_NEAR(Motivation(bundle, div_worker, *oracle_),
+              2.0 * SetDiversity(bundle, *oracle_), 1e-12);
+}
+
+TEST_F(MotivationTest, PureRelevanceWorkerIgnoresDiversity) {
+  const Worker rel_worker(0, KeywordVector(64, {1, 2}),
+                          MotivationWeights::RelevanceOnly());
+  const TaskBundle bundle{0, 1};
+  EXPECT_NEAR(
+      Motivation(bundle, rel_worker, *oracle_),
+      1.0 * SetRelevance(bundle, tasks_, rel_worker, DistanceKind::kJaccard),
+      1e-12);
+}
+
+TEST_F(MotivationTest, DiversityMarginalGain) {
+  EXPECT_NEAR(DiversityMarginalGain(2, {0, 1}, *oracle_), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(DiversityMarginalGain(2, {}, *oracle_), 0.0);
+}
+
+TEST_F(MotivationTest, RelevanceGainIsRel) {
+  const Worker worker(0, KeywordVector(64, {1, 2}));
+  EXPECT_DOUBLE_EQ(
+      RelevanceGain(0, tasks_, worker, DistanceKind::kJaccard), 1.0);
+  EXPECT_DOUBLE_EQ(
+      RelevanceGain(2, tasks_, worker, DistanceKind::kJaccard), 0.0);
+}
+
+TEST(MotivationWeightsTest, NormalizedSumsToOne) {
+  const MotivationWeights w = MotivationWeights::Normalized(0.2, 0.6);
+  EXPECT_NEAR(w.alpha, 0.25, 1e-12);
+  EXPECT_NEAR(w.beta, 0.75, 1e-12);
+}
+
+TEST(MotivationWeightsTest, NormalizedZeroFallsBackToHalf) {
+  const MotivationWeights w = MotivationWeights::Normalized(0.0, 0.0);
+  EXPECT_DOUBLE_EQ(w.alpha, 0.5);
+  EXPECT_DOUBLE_EQ(w.beta, 0.5);
+}
+
+TEST(MotivationWeightsDeathTest, NegativeWeightsAbort) {
+  EXPECT_DEATH({ MotivationWeights::Normalized(-0.1, 0.5); },
+               "non-negative");
+}
+
+TEST(MotivationPropertyTest, MotivationMonotoneInAlphaForDiverseBundle) {
+  // For a bundle where the (scaled) diversity term exceeds the
+  // relevance term, increasing alpha increases motivation.
+  std::vector<Task> tasks;
+  tasks.emplace_back(0, KeywordVector(64, {1}));
+  tasks.emplace_back(1, KeywordVector(64, {2}));
+  const TaskDistanceOracle oracle(&tasks, DistanceKind::kJaccard);
+  const KeywordVector no_interest(64, {9});
+  double previous = -1.0;
+  for (double alpha = 0.0; alpha <= 1.0; alpha += 0.1) {
+    const Worker w(0, no_interest, MotivationWeights{alpha, 1.0 - alpha});
+    const double m = Motivation({0, 1}, w, oracle);
+    EXPECT_GT(m, previous);
+    previous = m;
+  }
+}
+
+}  // namespace
+}  // namespace hta

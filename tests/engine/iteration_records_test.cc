@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "engine/assignment_service.h"
+#include "sim/catalog.h"
+
+namespace hta {
+namespace {
+
+Catalog SmallCatalog() {
+  CatalogOptions options;
+  options.num_groups = 10;
+  options.tasks_per_group = 25;
+  options.vocabulary_size = 120;
+  auto c = GenerateCatalog(options);
+  HTA_CHECK(c.ok());
+  return std::move(*c);
+}
+
+TEST(IterationRecordsTest, SolverBackedIterationsCarryStats) {
+  const Catalog catalog = SmallCatalog();
+  AssignmentServiceOptions options;
+  options.strategy = StrategyKind::kHtaGreRel;  // No cold start.
+  options.xmax = 5;
+  options.extra_random_tasks = 1;
+  options.refresh_after_completions = 2;
+  options.max_tasks_per_iteration = 60;
+  AssignmentService service(&catalog.tasks, options);
+
+  const uint64_t id = service.RegisterWorker(catalog.tasks[0].keywords());
+  for (int k = 0; k < 4; ++k) {
+    const auto displayed = service.Displayed(id);
+    ASSERT_FALSE(displayed.empty());
+    ASSERT_TRUE(service.NotifyCompleted(id, displayed[0]).ok());
+  }
+
+  const auto& records = service.iterations();
+  ASSERT_GE(records.size(), 2u);
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(records[i].iteration, i + 1);
+    EXPECT_GE(records[i].worker_count, 1u);
+    EXPECT_GT(records[i].task_count, 0u);  // REL strategy always solves.
+    EXPECT_GE(records[i].solve_seconds, 0.0);
+    EXPECT_GT(records[i].motivation, 0.0);
+  }
+}
+
+TEST(IterationRecordsTest, ColdStartIterationHasNoSolverStats) {
+  const Catalog catalog = SmallCatalog();
+  AssignmentServiceOptions options;
+  options.strategy = StrategyKind::kHtaGre;  // Cold start is random.
+  options.xmax = 5;
+  AssignmentService service(&catalog.tasks, options);
+  (void)service.RegisterWorker(catalog.tasks[0].keywords());
+  ASSERT_EQ(service.iterations().size(), 1u);
+  EXPECT_EQ(service.iterations()[0].task_count, 0u);
+  EXPECT_EQ(service.iterations()[0].worker_count, 1u);
+  EXPECT_EQ(service.iterations()[0].motivation, 0.0);
+}
+
+TEST(IterationRecordsTest, DrainedPoolStopsAssigning) {
+  CatalogOptions tiny;
+  tiny.num_groups = 2;
+  tiny.tasks_per_group = 5;  // 10 tasks total.
+  tiny.vocabulary_size = 40;
+  auto catalog = GenerateCatalog(tiny);
+  ASSERT_TRUE(catalog.ok());
+  AssignmentServiceOptions options;
+  options.strategy = StrategyKind::kHtaGreDiv;
+  options.xmax = 6;
+  options.extra_random_tasks = 2;
+  options.refresh_after_completions = 2;
+  AssignmentService service(&catalog->tasks, options);
+  const uint64_t id = service.RegisterWorker(catalog->tasks[0].keywords());
+  // Complete everything the platform can serve.
+  size_t safety = 0;
+  while (!service.Displayed(id).empty() && safety++ < 50) {
+    ASSERT_TRUE(
+        service.NotifyCompleted(id, service.Displayed(id)[0]).ok());
+  }
+  EXPECT_EQ(service.pool().available_count(), 0u);
+  EXPECT_GT(service.pool().completed_count(), 0u);
+  EXPECT_TRUE(service.Displayed(id).empty());
+}
+
+}  // namespace
+}  // namespace hta

@@ -1,0 +1,132 @@
+#include "engine/motivation_estimator.h"
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+class EstimatorTest : public ::testing::Test {
+ protected:
+  EstimatorTest() {
+    // Tasks 0 and 1 are near-duplicates; task 2 is disjoint from both;
+    // task 3 partially overlaps 0/1.
+    catalog_.emplace_back(0, KeywordVector(32, {1, 2, 3}));
+    catalog_.emplace_back(1, KeywordVector(32, {1, 2, 4}));
+    catalog_.emplace_back(2, KeywordVector(32, {10, 11, 12}));
+    catalog_.emplace_back(3, KeywordVector(32, {1, 20, 21}));
+  }
+
+  std::vector<Task> catalog_;
+  Worker WorkerLiking(std::initializer_list<KeywordId> ids) {
+    return Worker(7, KeywordVector(32, ids));
+  }
+};
+
+TEST_F(EstimatorTest, PriorReturnedWithoutObservations) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard,
+                          MotivationWeights{0.3, 0.7});
+  const MotivationWeights w = est.Estimate(7);
+  EXPECT_DOUBLE_EQ(w.alpha, 0.3);
+  EXPECT_DOUBLE_EQ(w.beta, 0.7);
+}
+
+TEST_F(EstimatorTest, FirstCompletionHasNoDiversitySignal) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker w = WorkerLiking({1, 2, 3});
+  est.BeginBundle(7, {0, 1, 2});
+  est.ObserveCompletion(7, 0, w);
+  // No completed prefix → max diversity gain 0 → skipped.
+  EXPECT_EQ(est.DiversityObservationCount(7), 0u);
+  // Relevance signal exists (rel(t0) = 1 is the max).
+  EXPECT_EQ(est.RelevanceObservationCount(7), 1u);
+}
+
+TEST_F(EstimatorTest, DiversityChooserDriftsTowardHighAlpha) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker w = WorkerLiking({1, 2, 3});
+  est.BeginBundle(7, {0, 1, 2, 3});
+  // Completes t0, then the most-different remaining task each time.
+  est.ObserveCompletion(7, 0, w);
+  est.ObserveCompletion(7, 2, w);  // t2 is maximally diverse from t0.
+  est.ObserveCompletion(7, 3, w);
+  const MotivationWeights weights = est.Estimate(7);
+  EXPECT_GT(weights.alpha, weights.beta);
+  EXPECT_NEAR(weights.alpha + weights.beta, 1.0, 1e-12);
+}
+
+TEST_F(EstimatorTest, RelevanceChooserDriftsTowardHighBeta) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker w = WorkerLiking({1, 2, 3});
+  est.BeginBundle(7, {0, 1, 2, 3});
+  // Completes in relevance order: t0 (rel 1), then t1 (best remaining
+  // relevance but low marginal diversity), then t3.
+  est.ObserveCompletion(7, 0, w);
+  est.ObserveCompletion(7, 1, w);
+  est.ObserveCompletion(7, 3, w);
+  const MotivationWeights weights = est.Estimate(7);
+  EXPECT_GT(weights.beta, weights.alpha);
+}
+
+TEST_F(EstimatorTest, UnknownTasksIgnored) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker w = WorkerLiking({1});
+  est.BeginBundle(7, {0, 1});
+  est.ObserveCompletion(7, 2, w);  // Not in the bundle.
+  EXPECT_EQ(est.DiversityObservationCount(7), 0u);
+  EXPECT_EQ(est.RelevanceObservationCount(7), 0u);
+}
+
+TEST_F(EstimatorTest, DuplicateCompletionIgnored) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker w = WorkerLiking({1, 2, 3});
+  est.BeginBundle(7, {0, 1});
+  est.ObserveCompletion(7, 0, w);
+  est.ObserveCompletion(7, 0, w);
+  EXPECT_EQ(est.RelevanceObservationCount(7), 1u);
+}
+
+TEST_F(EstimatorTest, ObservationsBeforeBeginBundleIgnored) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker w = WorkerLiking({1});
+  est.ObserveCompletion(7, 0, w);
+  EXPECT_EQ(est.RelevanceObservationCount(7), 0u);
+}
+
+TEST_F(EstimatorTest, GainsAccumulateAcrossBundles) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker w = WorkerLiking({1, 2, 3});
+  est.BeginBundle(7, {0, 1});
+  est.ObserveCompletion(7, 0, w);
+  est.BeginBundle(7, {2, 3});
+  est.ObserveCompletion(7, 2, w);
+  EXPECT_EQ(est.RelevanceObservationCount(7), 2u);
+}
+
+TEST_F(EstimatorTest, WorkersTrackedIndependently) {
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker a = WorkerLiking({1, 2, 3});
+  est.BeginBundle(1, {0, 1});
+  est.ObserveCompletion(1, 0, a);
+  EXPECT_EQ(est.RelevanceObservationCount(1), 1u);
+  EXPECT_EQ(est.RelevanceObservationCount(2), 0u);
+}
+
+TEST_F(EstimatorTest, NormalizedGainInZeroOne) {
+  // The chosen task's marginal gain can never exceed the max over
+  // remaining tasks, so alpha_raw, beta_raw lie in [0, 1] and the
+  // normalized estimate is a valid weight pair.
+  MotivationEstimator est(&catalog_, DistanceKind::kJaccard);
+  const Worker w = WorkerLiking({10, 11});
+  est.BeginBundle(7, {0, 1, 2, 3});
+  est.ObserveCompletion(7, 1, w);
+  est.ObserveCompletion(7, 3, w);
+  est.ObserveCompletion(7, 0, w);
+  est.ObserveCompletion(7, 2, w);
+  const MotivationWeights weights = est.Estimate(7);
+  EXPECT_GE(weights.alpha, 0.0);
+  EXPECT_LE(weights.alpha, 1.0);
+  EXPECT_NEAR(weights.alpha + weights.beta, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace hta

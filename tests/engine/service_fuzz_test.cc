@@ -1,0 +1,174 @@
+// Randomized operation-sequence stress test for the assignment
+// service: arbitrary interleavings of register / complete / deregister
+// across many workers must never violate the platform invariants
+// (single ownership of tasks, pool-state consistency, valid weights,
+// no crash).
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "engine/assignment_service.h"
+#include "sim/catalog.h"
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+struct FuzzCase {
+  StrategyKind strategy;
+  uint64_t seed;
+  size_t ops;
+};
+
+class ServiceFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(ServiceFuzz, InvariantsHoldUnderRandomOperations) {
+  const FuzzCase fuzz = GetParam();
+
+  CatalogOptions catalog_options;
+  catalog_options.num_groups = 20;
+  catalog_options.tasks_per_group = 30;
+  catalog_options.vocabulary_size = 200;
+  catalog_options.seed = fuzz.seed;
+  auto catalog = GenerateCatalog(catalog_options);
+  ASSERT_TRUE(catalog.ok());
+
+  AssignmentServiceOptions options;
+  options.strategy = fuzz.strategy;
+  options.xmax = 5;
+  options.extra_random_tasks = 2;
+  options.refresh_after_completions = 3;
+  options.max_tasks_per_iteration = 80;
+  options.min_batch_workers = 2;
+  options.seed = fuzz.seed + 1;
+  EventLog log;
+  options.event_log = &log;
+  AssignmentService service(&catalog->tasks, options);
+
+  Rng rng(fuzz.seed + 2);
+  std::vector<uint64_t> active;
+  std::vector<uint64_t> retired;
+  double clock = 0.0;
+  size_t completions = 0;
+
+  for (size_t op = 0; op < fuzz.ops; ++op) {
+    clock += rng.NextDouble();
+    service.AdvanceClock(clock);
+    const uint64_t dice = rng.NextBounded(10);
+    if (dice < 2 || active.empty()) {
+      // Register a new worker.
+      KeywordVector interests(catalog->space.size());
+      for (int b = 0; b < 5; ++b) {
+        interests.Set(
+            static_cast<KeywordId>(rng.NextBounded(catalog->space.size())));
+      }
+      active.push_back(service.RegisterWorker(interests));
+    } else if (dice < 9) {
+      // Complete a random displayed task of a random active worker.
+      const uint64_t id = active[rng.NextBounded(active.size())];
+      const auto displayed = service.Displayed(id);
+      if (!displayed.empty()) {
+        const size_t t = displayed[rng.NextBounded(displayed.size())];
+        ASSERT_TRUE(service.NotifyCompleted(id, t).ok());
+        ++completions;
+      }
+    } else {
+      // Deregister a random active worker.
+      const size_t pos = rng.NextBounded(active.size());
+      service.Deregister(active[pos]);
+      retired.push_back(active[pos]);
+      active[pos] = active.back();
+      active.pop_back();
+    }
+
+    // Invariant: no task is displayed to two active workers.
+    std::set<size_t> seen;
+    for (uint64_t id : active) {
+      for (size_t t : service.Displayed(id)) {
+        ASSERT_TRUE(seen.insert(t).second)
+            << "task " << t << " displayed twice at op " << op;
+        // Displayed tasks are Assigned in the pool.
+        ASSERT_EQ(service.pool().state(t), TaskState::kAssigned);
+      }
+    }
+    // Invariant: weight estimates are valid.
+    for (uint64_t id : active) {
+      const MotivationWeights w = service.CurrentWeights(id);
+      ASSERT_GE(w.alpha, 0.0);
+      ASSERT_LE(w.alpha, 1.0);
+      ASSERT_NEAR(w.alpha + w.beta, 1.0, 1e-9);
+    }
+  }
+
+  // Post: pool accounting adds up.
+  const TaskPool& pool = service.pool();
+  EXPECT_EQ(pool.completed_count(), completions);
+  size_t available = 0;
+  size_t assigned = 0;
+  size_t completed = 0;
+  for (size_t t = 0; t < pool.size(); ++t) {
+    switch (pool.state(t)) {
+      case TaskState::kAvailable:
+        ++available;
+        break;
+      case TaskState::kAssigned:
+        ++assigned;
+        break;
+      case TaskState::kCompleted:
+        ++completed;
+        break;
+    }
+  }
+  EXPECT_EQ(available + assigned + completed, pool.size());
+  EXPECT_EQ(available, pool.available_count());
+  EXPECT_EQ(completed, pool.completed_count());
+
+  // Post: operations on retired workers are rejected, not crashing.
+  for (uint64_t id : retired) {
+    EXPECT_TRUE(service.Displayed(id).empty());
+    EXPECT_FALSE(service.NotifyCompleted(id, 0).ok());
+  }
+
+  // Post: the audit log is well-formed — time-ordered, one completion
+  // event per completion, and at least one display (a drained pool can
+  // leave late registrants without a bundle, so displays may be fewer
+  // than registrations).
+  size_t display_events = 0;
+  size_t completion_events = 0;
+  double prev_minute = 0.0;
+  for (const LoggedEvent& e : log.events()) {
+    EXPECT_GE(e.minute, prev_minute);
+    prev_minute = e.minute;
+    if (e.kind == LoggedEvent::Kind::kDisplayed) {
+      ++display_events;
+    } else {
+      ++completion_events;
+      EXPECT_EQ(e.task_ids.size(), 1u);
+    }
+  }
+  EXPECT_GE(display_events, 1u);
+  EXPECT_EQ(completion_events, completions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, ServiceFuzz,
+    ::testing::Values(FuzzCase{StrategyKind::kHtaGre, 1, 300},
+                      FuzzCase{StrategyKind::kHtaGre, 2, 300},
+                      FuzzCase{StrategyKind::kHtaGreDiv, 3, 300},
+                      FuzzCase{StrategyKind::kHtaGreRel, 4, 300},
+                      FuzzCase{StrategyKind::kRandom, 5, 300},
+                      FuzzCase{StrategyKind::kHtaGre, 6, 600}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      std::string name = StrategyName(info.param.strategy) + "_seed" +
+                         std::to_string(info.param.seed) + "_ops" +
+                         std::to_string(info.param.ops);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace hta

@@ -1,0 +1,83 @@
+#include "engine/task_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+std::vector<Task> MakeCatalog(size_t n) {
+  std::vector<Task> tasks;
+  for (size_t i = 0; i < n; ++i) {
+    tasks.emplace_back(i, KeywordVector(8, {static_cast<KeywordId>(i % 8)}));
+  }
+  return tasks;
+}
+
+TEST(TaskPoolTest, AllAvailableInitially) {
+  const auto catalog = MakeCatalog(5);
+  TaskPool pool(&catalog);
+  EXPECT_EQ(pool.size(), 5u);
+  EXPECT_EQ(pool.available_count(), 5u);
+  EXPECT_EQ(pool.completed_count(), 0u);
+  EXPECT_EQ(pool.AvailableIndices().size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(pool.state(i), TaskState::kAvailable);
+  }
+}
+
+TEST(TaskPoolTest, AssignmentLifecycle) {
+  const auto catalog = MakeCatalog(3);
+  TaskPool pool(&catalog);
+  EXPECT_TRUE(pool.MarkAssigned(1).ok());
+  EXPECT_EQ(pool.state(1), TaskState::kAssigned);
+  EXPECT_EQ(pool.available_count(), 2u);
+  EXPECT_TRUE(pool.MarkCompleted(1).ok());
+  EXPECT_EQ(pool.state(1), TaskState::kCompleted);
+  EXPECT_EQ(pool.completed_count(), 1u);
+}
+
+TEST(TaskPoolTest, DoubleAssignFails) {
+  const auto catalog = MakeCatalog(2);
+  TaskPool pool(&catalog);
+  EXPECT_TRUE(pool.MarkAssigned(0).ok());
+  EXPECT_EQ(pool.MarkAssigned(0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TaskPoolTest, CompleteRequiresAssigned) {
+  const auto catalog = MakeCatalog(2);
+  TaskPool pool(&catalog);
+  EXPECT_FALSE(pool.MarkCompleted(0).ok());
+  ASSERT_TRUE(pool.MarkAssigned(0).ok());
+  ASSERT_TRUE(pool.MarkCompleted(0).ok());
+  EXPECT_FALSE(pool.MarkCompleted(0).ok());  // Already completed.
+}
+
+TEST(TaskPoolTest, ReleaseReturnsTaskToPool) {
+  const auto catalog = MakeCatalog(2);
+  TaskPool pool(&catalog);
+  ASSERT_TRUE(pool.MarkAssigned(0).ok());
+  EXPECT_TRUE(pool.Release(0).ok());
+  EXPECT_EQ(pool.state(0), TaskState::kAvailable);
+  EXPECT_EQ(pool.available_count(), 2u);
+  // Release of non-assigned fails.
+  EXPECT_FALSE(pool.Release(1).ok());
+}
+
+TEST(TaskPoolTest, AvailableIndicesSkipsAssignedAndCompleted) {
+  const auto catalog = MakeCatalog(4);
+  TaskPool pool(&catalog);
+  ASSERT_TRUE(pool.MarkAssigned(1).ok());
+  ASSERT_TRUE(pool.MarkAssigned(3).ok());
+  ASSERT_TRUE(pool.MarkCompleted(3).ok());
+  const std::vector<size_t> available = pool.AvailableIndices();
+  EXPECT_EQ(available, (std::vector<size_t>{0, 2}));
+}
+
+TEST(TaskPoolDeathTest, OutOfRangeIndexAborts) {
+  const auto catalog = MakeCatalog(2);
+  TaskPool pool(&catalog);
+  EXPECT_DEATH({ (void)pool.state(2); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace hta

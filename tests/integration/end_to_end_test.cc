@@ -1,0 +1,153 @@
+// Integration tests spanning catalog generation, the adaptive engine,
+// both solvers, and the online simulator — small-scale versions of the
+// paper's two experiment suites.
+#include <gtest/gtest.h>
+
+#include "assign/baselines.h"
+#include "assign/hta_solver.h"
+#include "sim/online_experiment.h"
+#include "sim/worker_gen.h"
+#include "util/stats.h"
+
+namespace hta {
+namespace {
+
+TEST(OfflinePipelineTest, CatalogToSolveAtModestScale) {
+  // A miniature Fig. 2 point: 400 tasks, 20 workers, Xmax = 5.
+  CatalogOptions catalog_options;
+  catalog_options.num_groups = 20;
+  catalog_options.tasks_per_group = 20;
+  catalog_options.vocabulary_size = 300;
+  auto catalog = GenerateCatalog(catalog_options);
+  ASSERT_TRUE(catalog.ok());
+
+  WorkerGenOptions worker_options;
+  worker_options.count = 20;
+  auto workers = GenerateWorkers(worker_options, *catalog);
+  ASSERT_TRUE(workers.ok());
+
+  auto problem = HtaProblem::Create(&catalog->tasks, &*workers, 5);
+  ASSERT_TRUE(problem.ok());
+
+  auto app = SolveHtaApp(*problem, 1);
+  auto gre = SolveHtaGre(*problem, 1);
+  ASSERT_TRUE(app.ok());
+  ASSERT_TRUE(gre.ok());
+  EXPECT_TRUE(ValidateAssignment(*problem, app->assignment).ok());
+  EXPECT_TRUE(ValidateAssignment(*problem, gre->assignment).ok());
+
+  // Both fill all 100 slots (400 tasks >> 100 slots).
+  EXPECT_EQ(app->assignment.AssignedTaskCount(), 100u);
+  EXPECT_EQ(gre->assignment.AssignedTaskCount(), 100u);
+
+  // The paper's Fig. 2b observation: the two objectives are close.
+  EXPECT_GT(gre->stats.motivation, 0.5 * app->stats.motivation);
+  EXPECT_LT(gre->stats.motivation, 1.5 * app->stats.motivation);
+}
+
+TEST(OfflinePipelineTest, ObjectiveGrowsWithTaskCount) {
+  // More available tasks → no worse assignment objective (more choice).
+  WorkerGenOptions worker_options;
+  worker_options.count = 8;
+  double previous = -1.0;
+  for (size_t groups : {8u, 16u, 32u}) {
+    CatalogOptions catalog_options;
+    catalog_options.num_groups = groups;
+    catalog_options.tasks_per_group = 10;
+    catalog_options.vocabulary_size = 300;
+    auto catalog = GenerateCatalog(catalog_options);
+    ASSERT_TRUE(catalog.ok());
+    auto workers = GenerateWorkers(worker_options, *catalog);
+    ASSERT_TRUE(workers.ok());
+    auto problem = HtaProblem::Create(&catalog->tasks, &*workers, 5);
+    ASSERT_TRUE(problem.ok());
+    auto result = SolveHtaGre(*problem, 7);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->stats.motivation, 0.6 * previous);
+    previous = result->stats.motivation;
+  }
+}
+
+TEST(OnlineExperimentTest, SmallRunProducesCoherentCurves) {
+  OnlineExperimentOptions options;
+  options.sessions_per_strategy = 4;
+  options.session.max_minutes = 8.0;
+  options.catalog.num_groups = 20;
+  options.catalog.tasks_per_group = 25;
+  options.catalog.vocabulary_size = 200;
+  options.strategies = {StrategyKind::kHtaGre, StrategyKind::kHtaGreRel};
+  options.seed = 77;
+
+  const OnlineExperimentResult result = RunOnlineExperiment(options);
+  ASSERT_EQ(result.curves.size(), 2u);
+
+  for (const StrategyCurves& c : result.curves) {
+    ASSERT_EQ(c.minutes.size(), 9u);  // 0..8 inclusive.
+    EXPECT_GT(c.total_tasks, 0u);
+    EXPECT_GE(c.total_questions, c.total_tasks);
+    EXPECT_LE(c.total_correct, c.total_questions);
+    EXPECT_EQ(c.tasks_per_session.size(), 4u);
+    EXPECT_EQ(c.session_duration_minutes.size(), 4u);
+    // Cumulative curves are monotone; retention is non-increasing from
+    // 100%.
+    for (size_t b = 1; b < c.minutes.size(); ++b) {
+      EXPECT_GE(c.cumulative_completed[b], c.cumulative_completed[b - 1]);
+      EXPECT_LE(c.retention_pct[b], c.retention_pct[b - 1]);
+    }
+    EXPECT_DOUBLE_EQ(c.retention_pct[0], 100.0);
+    EXPECT_DOUBLE_EQ(c.cumulative_completed.back(),
+                     static_cast<double>(c.total_tasks));
+    for (double pct : c.cumulative_correct_pct) {
+      EXPECT_GE(pct, 0.0);
+      EXPECT_LE(pct, 100.0);
+    }
+  }
+  EXPECT_NO_FATAL_FAILURE(result.ForStrategy(StrategyKind::kHtaGre));
+}
+
+TEST(OnlineExperimentTest, AdaptiveEstimatesTrackLatentPreferences) {
+  // After a session of observations, the adaptive strategy's (alpha,
+  // beta) estimates should be informative (within [0,1], not stuck at
+  // the prior for every worker).
+  OnlineExperimentOptions options;
+  options.sessions_per_strategy = 4;
+  options.session.max_minutes = 10.0;
+  options.catalog.num_groups = 15;
+  options.catalog.tasks_per_group = 25;
+  options.strategies = {StrategyKind::kHtaGre};
+  options.seed = 99;
+  const OnlineExperimentResult result = RunOnlineExperiment(options);
+  const StrategyCurves& c = result.ForStrategy(StrategyKind::kHtaGre);
+  EXPECT_GT(c.mean_alpha_estimate_end, 0.0);
+  EXPECT_LT(c.mean_alpha_estimate_end, 1.0);
+}
+
+TEST(SignificanceMachineryTest, PaperStyleComparisons) {
+  // Reproduce the statistical apparatus of Section V-C on synthetic
+  // curves: a two-proportion Z-test on quality and a Mann-Whitney U on
+  // per-session task counts.
+  OnlineExperimentOptions options;
+  options.sessions_per_strategy = 6;
+  options.session.max_minutes = 6.0;
+  options.catalog.num_groups = 20;
+  options.catalog.tasks_per_group = 20;
+  options.strategies = {StrategyKind::kHtaGreDiv, StrategyKind::kHtaGreRel};
+  options.seed = 3;
+  const OnlineExperimentResult result = RunOnlineExperiment(options);
+  const auto& div = result.ForStrategy(StrategyKind::kHtaGreDiv);
+  const auto& rel = result.ForStrategy(StrategyKind::kHtaGreRel);
+
+  auto z = TwoProportionZTest(div.total_correct, div.total_questions,
+                              rel.total_correct, rel.total_questions);
+  ASSERT_TRUE(z.ok());
+  EXPECT_GE(z->p_value, 0.0);
+  EXPECT_LE(z->p_value, 1.0);
+
+  auto u = MannWhitneyUTest(div.tasks_per_session, rel.tasks_per_session);
+  ASSERT_TRUE(u.ok());
+  EXPECT_GE(u->p_value, 0.0);
+  EXPECT_LE(u->p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace hta

@@ -1,0 +1,277 @@
+#include "matching/lsap.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+std::vector<double> RandomProfitMatrix(size_t n, Rng* rng,
+                                       double scale = 1.0) {
+  std::vector<double> m(n * n);
+  for (double& v : m) v = rng->NextDouble() * scale;
+  return m;
+}
+
+/// Exact LSAP by permutation enumeration; n <= 8.
+double BruteForceLsap(size_t n, const std::vector<double>& profit) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -1.0;
+  do {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) total += profit[i * n + perm[i]];
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+void ExpectPermutation(const LsapSolution& s, size_t n) {
+  ASSERT_EQ(s.row_to_col.size(), n);
+  std::vector<bool> seen(n, false);
+  for (int32_t c : s.row_to_col) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(static_cast<size_t>(c), n);
+    EXPECT_FALSE(seen[static_cast<size_t>(c)]);
+    seen[static_cast<size_t>(c)] = true;
+  }
+  for (size_t j = 0; j < n; ++j) {
+    EXPECT_EQ(s.row_to_col[static_cast<size_t>(s.col_to_row[j])],
+              static_cast<int32_t>(j));
+  }
+}
+
+double RecomputeProfit(const LsapSolution& s, size_t n,
+                       const std::vector<double>& profit) {
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    total += profit[i * n + static_cast<size_t>(s.row_to_col[i])];
+  }
+  return total;
+}
+
+TEST(LsapJvTest, TrivialSizes) {
+  const LsapSolution s0 = SolveLsapJv(0, [](size_t, size_t) { return 0.0; });
+  EXPECT_TRUE(s0.row_to_col.empty());
+  EXPECT_EQ(s0.profit, 0.0);
+
+  std::vector<double> one{7.0};
+  const LsapSolution s1 = SolveLsapJv(1, DenseProfit(1, &one));
+  EXPECT_EQ(s1.row_to_col[0], 0);
+  EXPECT_DOUBLE_EQ(s1.profit, 7.0);
+}
+
+TEST(LsapJvTest, KnownTwoByTwo) {
+  // max(1+4, 2+3) = 5 on the diagonal.
+  std::vector<double> m{1, 2, 3, 4};
+  const LsapSolution s = SolveLsapJv(2, DenseProfit(2, &m));
+  ExpectPermutation(s, 2);
+  EXPECT_DOUBLE_EQ(s.profit, 5.0);
+}
+
+TEST(LsapJvTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(1);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 2 + rng.NextBounded(6);  // up to 7
+    const auto m = RandomProfitMatrix(n, &rng);
+    const LsapSolution s = SolveLsapJv(n, DenseProfit(n, &m));
+    ExpectPermutation(s, n);
+    EXPECT_NEAR(s.profit, BruteForceLsap(n, m), 1e-9);
+    EXPECT_NEAR(s.profit, RecomputeProfit(s, n, m), 1e-9);
+  }
+}
+
+TEST(LsapHungarianTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(2);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 2 + rng.NextBounded(6);
+    const auto m = RandomProfitMatrix(n, &rng);
+    const LsapSolution s = SolveLsapHungarian(n, m);
+    ExpectPermutation(s, n);
+    EXPECT_NEAR(s.profit, BruteForceLsap(n, m), 1e-9);
+  }
+}
+
+TEST(LsapCrossCheckTest, JvEqualsHungarianOnLargerRandomInstances) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 20 + rng.NextBounded(60);
+    const auto m = RandomProfitMatrix(n, &rng, 10.0);
+    const LsapSolution jv = SolveLsapJv(n, DenseProfit(n, &m));
+    const LsapSolution hung = SolveLsapHungarian(n, m);
+    ExpectPermutation(jv, n);
+    ExpectPermutation(hung, n);
+    EXPECT_NEAR(jv.profit, hung.profit, 1e-6);
+  }
+}
+
+TEST(LsapCrossCheckTest, JvHandlesDegenerateZeroColumns) {
+  // The HTA structure: most columns all-zero, few profitable ones.
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    const size_t n = 30;
+    std::vector<double> m(n * n, 0.0);
+    for (size_t j = 0; j < 6; ++j) {
+      for (size_t i = 0; i < n; ++i) m[i * n + j] = rng.NextDouble();
+    }
+    const LsapSolution jv = SolveLsapJv(n, DenseProfit(n, &m));
+    const LsapSolution hung = SolveLsapHungarian(n, m);
+    EXPECT_NEAR(jv.profit, hung.profit, 1e-9);
+  }
+}
+
+TEST(LsapJvTest, ConstantMatrix) {
+  std::vector<double> m(25, 3.0);
+  const LsapSolution s = SolveLsapJv(5, DenseProfit(5, &m));
+  ExpectPermutation(s, 5);
+  EXPECT_NEAR(s.profit, 15.0, 1e-12);
+}
+
+TEST(LsapGreedyTest, IsValidAndHalfOptimal) {
+  Rng rng(5);
+  for (int trial = 0; trial < 60; ++trial) {
+    const size_t n = 2 + rng.NextBounded(6);
+    const auto m = RandomProfitMatrix(n, &rng);
+    const LsapSolution greedy = SolveLsapGreedy(n, DenseProfit(n, &m));
+    ExpectPermutation(greedy, n);
+    const double opt = BruteForceLsap(n, m);
+    EXPECT_GE(greedy.profit + 1e-9, 0.5 * opt);
+    EXPECT_LE(greedy.profit, opt + 1e-9);
+    EXPECT_NEAR(greedy.profit, RecomputeProfit(greedy, n, m), 1e-9);
+  }
+}
+
+TEST(LsapGreedyTest, ColumnHintMatchesFullScan) {
+  // When the hint lists exactly the positive columns, results must be
+  // identical to the unhinted greedy.
+  Rng rng(6);
+  const size_t n = 40;
+  std::vector<double> m(n * n, 0.0);
+  std::vector<size_t> positive_cols{3, 11, 17, 29};
+  for (size_t j : positive_cols) {
+    for (size_t i = 0; i < n; ++i) m[i * n + j] = rng.NextDouble();
+  }
+  const LsapSolution full = SolveLsapGreedy(n, DenseProfit(n, &m));
+  const LsapSolution hinted =
+      SolveLsapGreedy(n, DenseProfit(n, &m), &positive_cols);
+  EXPECT_NEAR(full.profit, hinted.profit, 1e-12);
+  EXPECT_EQ(full.row_to_col, hinted.row_to_col);
+}
+
+TEST(LsapGreedyTest, GreedyPicksGloballyHeaviestEdgeFirst) {
+  // 2x2 where greedy and optimal differ: greedy takes 10 (0,0), then
+  // forced (1,1) = 1 → 11; optimal is 9 + 8 = 17.
+  std::vector<double> m{10, 9, 8, 1};
+  const LsapSolution greedy = SolveLsapGreedy(2, DenseProfit(2, &m));
+  EXPECT_DOUBLE_EQ(greedy.profit, 11.0);
+  const LsapSolution exact = SolveLsapJv(2, DenseProfit(2, &m));
+  EXPECT_DOUBLE_EQ(exact.profit, 17.0);
+  EXPECT_GE(greedy.profit, 0.5 * exact.profit);
+}
+
+TEST(LsapAuctionTest, NearOptimalOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.NextBounded(10);
+    const auto m = RandomProfitMatrix(n, &rng, 5.0);
+    const LsapSolution auction = SolveLsapAuction(n, m);
+    ExpectPermutation(auction, n);
+    const LsapSolution exact = SolveLsapJv(n, DenseProfit(n, &m));
+    // Auction with epsilon scaling lands within n * eps_final of
+    // optimal; our eps_final = max/(4n) gives a max/4 additive bound,
+    // but in practice it is much tighter. Assert a conservative bound.
+    EXPECT_GE(auction.profit, exact.profit - 5.0 / 4.0 - 1e-9);
+    EXPECT_LE(auction.profit, exact.profit + 1e-9);
+  }
+}
+
+TEST(LsapAuctionTest, ExactOnWellSeparatedProfits) {
+  // Profits far apart relative to epsilon: auction is exact.
+  std::vector<double> m{100, 1, 1, 1, 100, 1, 1, 1, 100};
+  const LsapSolution s = SolveLsapAuction(3, m);
+  EXPECT_DOUBLE_EQ(s.profit, 300.0);
+}
+
+TEST(LsapStructuredTest, MatchesJvOnZeroPaddedInstances) {
+  // Random profits confined to a column subset; every other column is
+  // zero — exactly the HTA structure. The structured solver must find
+  // the same optimal profit as the square exact solver.
+  Rng rng(11);
+  for (int trial = 0; trial < 30; ++trial) {
+    const size_t n = 10 + rng.NextBounded(40);
+    const size_t m = 1 + rng.NextBounded(n / 2);
+    std::vector<size_t> cols = rng.SampleWithoutReplacement(n, m);
+    std::vector<double> matrix(n * n, 0.0);
+    for (size_t j : cols) {
+      for (size_t i = 0; i < n; ++i) matrix[i * n + j] = rng.NextDouble();
+    }
+    const DenseProfit profit(n, &matrix);
+    const LsapSolution jv = SolveLsapJv(n, profit);
+    const LsapSolution structured = SolveLsapStructured(n, profit, cols);
+    ExpectPermutation(structured, n);
+    EXPECT_NEAR(structured.profit, jv.profit, 1e-9)
+        << "n=" << n << " m=" << m;
+    EXPECT_NEAR(structured.profit, RecomputeProfit(structured, n, matrix),
+                1e-9);
+  }
+}
+
+TEST(LsapStructuredTest, EmptyColumnSetGivesIdentity) {
+  std::vector<double> matrix(9, 0.0);
+  const DenseProfit profit(3, &matrix);
+  const LsapSolution s = SolveLsapStructured(3, profit, {});
+  EXPECT_EQ(s.row_to_col, (std::vector<int32_t>{0, 1, 2}));
+  EXPECT_EQ(s.profit, 0.0);
+}
+
+TEST(LsapStructuredTest, SingleProfitableColumnPicksBestRow) {
+  std::vector<double> matrix(16, 0.0);
+  matrix[0 * 4 + 2] = 0.3;
+  matrix[1 * 4 + 2] = 0.9;  // Row 1 is the best match for column 2.
+  matrix[3 * 4 + 2] = 0.5;
+  const DenseProfit profit(4, &matrix);
+  const LsapSolution s = SolveLsapStructured(4, profit, {2});
+  ExpectPermutation(s, 4);
+  EXPECT_EQ(s.row_to_col[1], 2);
+  EXPECT_DOUBLE_EQ(s.profit, 0.9);
+}
+
+TEST(LsapStructuredTest, AllColumnsProfitableEqualsFullSolve) {
+  Rng rng(13);
+  const size_t n = 25;
+  const auto matrix = RandomProfitMatrix(n, &rng);
+  std::vector<size_t> all_cols(n);
+  std::iota(all_cols.begin(), all_cols.end(), 0);
+  const DenseProfit profit(n, &matrix);
+  const LsapSolution full = SolveLsapJv(n, profit);
+  const LsapSolution structured = SolveLsapStructured(n, profit, all_cols);
+  EXPECT_NEAR(structured.profit, full.profit, 1e-9);
+}
+
+TEST(LsapStructuredTest, MoreColumnsThanNeededStillExact) {
+  // m close to n with heavy ties; column 5 is all-zero per the
+  // structured solver's contract.
+  std::vector<double> matrix(36, 0.5);
+  for (size_t i = 0; i < 6; ++i) {
+    matrix[i * 6 + i] = 0.0;
+    matrix[i * 6 + 5] = 0.0;
+  }
+  const DenseProfit profit(6, &matrix);
+  const LsapSolution s = SolveLsapStructured(6, profit, {0, 1, 2, 3, 4});
+  ExpectPermutation(s, 6);
+  // Optimal avoids all diagonal zeros on the 5 profitable columns.
+  EXPECT_NEAR(s.profit, 2.5, 1e-9);
+}
+
+TEST(LsapSolutionTest, FinishSolutionDetectsNonPermutation) {
+  EXPECT_DEATH(
+      { lsap_internal::FinishSolution({0, 0}, 2, 0.0); },
+      "not a permutation");
+}
+
+}  // namespace
+}  // namespace hta

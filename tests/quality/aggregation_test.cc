@@ -1,0 +1,173 @@
+#include "quality/aggregation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+AnswerRecord A(uint64_t question, uint64_t worker, uint32_t answer) {
+  return AnswerRecord{question, worker, answer};
+}
+
+TEST(MajorityVoteTest, SimpleMajority) {
+  auto r = MajorityVote({A(1, 10, 0), A(1, 11, 0), A(1, 12, 1)}, 2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].question_id, 1u);
+  EXPECT_EQ((*r)[0].answer, 0u);
+  EXPECT_NEAR((*r)[0].confidence, 2.0 / 3.0, 1e-12);
+}
+
+TEST(MajorityVoteTest, TieBreaksTowardSmallestOption) {
+  auto r = MajorityVote({A(1, 10, 2), A(1, 11, 1)}, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].answer, 1u);
+}
+
+TEST(MajorityVoteTest, MultipleQuestionsKeepOrder) {
+  auto r = MajorityVote({A(5, 1, 0), A(9, 1, 1), A(5, 2, 0)}, 2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].question_id, 5u);
+  EXPECT_EQ((*r)[1].question_id, 9u);
+}
+
+TEST(MajorityVoteTest, RejectsBadInput) {
+  EXPECT_FALSE(MajorityVote({}, 2).ok());
+  EXPECT_FALSE(MajorityVote({A(1, 1, 0)}, 1).ok());
+  EXPECT_FALSE(MajorityVote({A(1, 1, 5)}, 3).ok());
+}
+
+TEST(WeightedVoteTest, ReliableWorkerOutvotesTwoUnreliable) {
+  std::unordered_map<uint64_t, double> reliability{
+      {10, 0.95}, {11, 0.55}, {12, 0.55}};
+  auto r = WeightedVote({A(1, 10, 0), A(1, 11, 1), A(1, 12, 1)}, 2,
+                        reliability);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].answer, 0u)
+      << "one 95% worker should outweigh two 55% workers";
+}
+
+TEST(WeightedVoteTest, DefaultReliabilityApplies) {
+  auto r = WeightedVote({A(1, 10, 0), A(1, 11, 1), A(1, 12, 1)}, 2, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].answer, 1u);  // Equal weights: majority wins.
+}
+
+TEST(WeightedVoteTest, RejectsBadDefault) {
+  EXPECT_FALSE(WeightedVote({A(1, 1, 0)}, 2, {}, 0.0).ok());
+  EXPECT_FALSE(WeightedVote({A(1, 1, 0)}, 2, {}, 1.0).ok());
+}
+
+/// Builds a synthetic redundant-answer corpus: `questions` questions
+/// with ground truth 0..num_options-1; each worker has a latent
+/// reliability; answers drawn accordingly.
+struct Corpus {
+  std::vector<AnswerRecord> answers;
+  std::unordered_map<uint64_t, uint32_t> ground_truth;
+  std::unordered_map<uint64_t, double> latent_reliability;
+};
+
+Corpus MakeCorpus(size_t questions, size_t workers, uint32_t num_options,
+                  uint64_t seed, double min_rel = 0.5, double max_rel = 0.95) {
+  Corpus corpus;
+  Rng rng(seed);
+  std::vector<double> reliabilities;
+  for (size_t w = 0; w < workers; ++w) {
+    const double p = rng.Uniform(min_rel, max_rel);
+    corpus.latent_reliability[w] = p;
+    reliabilities.push_back(p);
+  }
+  for (size_t q = 0; q < questions; ++q) {
+    const uint32_t truth = static_cast<uint32_t>(rng.NextBounded(num_options));
+    corpus.ground_truth[q] = truth;
+    for (size_t w = 0; w < workers; ++w) {
+      uint32_t answer = truth;
+      if (!rng.NextBool(reliabilities[w])) {
+        // Uniform wrong option.
+        answer = static_cast<uint32_t>(rng.NextBounded(num_options - 1));
+        if (answer >= truth) ++answer;
+      }
+      corpus.answers.push_back(A(q, w, answer));
+    }
+  }
+  return corpus;
+}
+
+TEST(DawidSkeneTest, RecoversReliabilityOrdering) {
+  const Corpus corpus = MakeCorpus(300, 8, 3, 5, 0.45, 0.95);
+  auto em = EstimateDawidSkene(corpus.answers, 3);
+  ASSERT_TRUE(em.ok());
+  EXPECT_TRUE(em->converged);
+  // Estimated reliabilities correlate with latent ones: check the
+  // best-vs-worst ordering.
+  uint64_t latent_best = 0, latent_worst = 0;
+  for (const auto& [w, p] : corpus.latent_reliability) {
+    if (p > corpus.latent_reliability.at(latent_best)) latent_best = w;
+    if (p < corpus.latent_reliability.at(latent_worst)) latent_worst = w;
+  }
+  EXPECT_GT(em->worker_reliability.at(latent_best),
+            em->worker_reliability.at(latent_worst));
+}
+
+TEST(DawidSkeneTest, BeatsOrMatchesMajorityOnSkewedCrowds) {
+  // A crowd with a few experts and many near-chance workers: EM should
+  // aggregate at least as accurately as plain majority.
+  const Corpus corpus = MakeCorpus(400, 10, 4, 11, 0.3, 0.95);
+  auto majority = MajorityVote(corpus.answers, 4);
+  auto em = EstimateDawidSkene(corpus.answers, 4);
+  ASSERT_TRUE(majority.ok());
+  ASSERT_TRUE(em.ok());
+  auto majority_acc = AggregationAccuracy(*majority, corpus.ground_truth);
+  auto em_acc = AggregationAccuracy(em->answers, corpus.ground_truth);
+  ASSERT_TRUE(majority_acc.ok());
+  ASSERT_TRUE(em_acc.ok());
+  EXPECT_GE(*em_acc + 0.02, *majority_acc)
+      << "EM fell clearly below majority vote";
+  EXPECT_GT(*em_acc, 0.6);
+}
+
+TEST(DawidSkeneTest, PerfectWorkersYieldPerfectAnswers) {
+  const Corpus corpus = MakeCorpus(50, 5, 3, 3, 0.999, 0.9999);
+  auto em = EstimateDawidSkene(corpus.answers, 3);
+  ASSERT_TRUE(em.ok());
+  auto acc = AggregationAccuracy(em->answers, corpus.ground_truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);
+}
+
+TEST(DawidSkeneTest, RejectsZeroIterations) {
+  EmOptions options;
+  options.max_iterations = 0;
+  EXPECT_FALSE(EstimateDawidSkene({A(1, 1, 0)}, 2, options).ok());
+}
+
+TEST(AggregationAccuracyTest, SkipsUnknownAndFailsOnNoOverlap) {
+  std::vector<AggregatedAnswer> answers{{1, 0, 1.0}, {2, 1, 1.0}};
+  std::unordered_map<uint64_t, uint32_t> truth{{1, 0}, {3, 1}};
+  auto acc = AggregationAccuracy(answers, truth);
+  ASSERT_TRUE(acc.ok());
+  EXPECT_DOUBLE_EQ(*acc, 1.0);  // Only question 1 scored.
+  EXPECT_FALSE(AggregationAccuracy(answers, {{9, 0}}).ok());
+}
+
+TEST(WeightedVoteTest, LatentWeightsBeatMajorityOnVerySkewedCrowd) {
+  // Give the weighted vote the *latent* reliabilities (oracle setting):
+  // it must do at least as well as unweighted majority.
+  const Corpus corpus = MakeCorpus(400, 9, 2, 21, 0.35, 0.95);
+  auto majority = MajorityVote(corpus.answers, 2);
+  auto weighted =
+      WeightedVote(corpus.answers, 2, corpus.latent_reliability);
+  ASSERT_TRUE(majority.ok());
+  ASSERT_TRUE(weighted.ok());
+  auto macc = AggregationAccuracy(*majority, corpus.ground_truth);
+  auto wacc = AggregationAccuracy(*weighted, corpus.ground_truth);
+  ASSERT_TRUE(macc.ok());
+  ASSERT_TRUE(wacc.ok());
+  EXPECT_GE(*wacc + 0.01, *macc);
+}
+
+}  // namespace
+}  // namespace hta

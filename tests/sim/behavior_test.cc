@@ -1,0 +1,158 @@
+#include "sim/behavior.h"
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+class BehaviorTest : public ::testing::Test {
+ protected:
+  BehaviorTest() {
+    // Tasks 0-2 near-identical, task 3-4 very different.
+    catalog_.emplace_back(0, KeywordVector(64, {1, 2, 3}));
+    catalog_.emplace_back(1, KeywordVector(64, {1, 2, 4}));
+    catalog_.emplace_back(2, KeywordVector(64, {1, 2, 5}));
+    catalog_.emplace_back(3, KeywordVector(64, {30, 31, 32}));
+    catalog_.emplace_back(4, KeywordVector(64, {40, 41, 42}));
+  }
+
+  BehavioralWorker MakeWorker(double alpha_latent, double noise = 0.0,
+                              uint64_t seed = 5) {
+    BehaviorParams params;
+    params.alpha_latent = alpha_latent;
+    params.choice_noise = noise;
+    return BehavioralWorker(&catalog_, DistanceKind::kJaccard,
+                            Worker(1, KeywordVector(64, {1, 2, 3})), params,
+                            Rng(seed));
+  }
+
+  std::vector<Task> catalog_;
+};
+
+TEST_F(BehaviorTest, RelevanceLoverPicksRelevantTask) {
+  BehavioralWorker w = MakeWorker(/*alpha_latent=*/0.0);
+  // Task 0 exactly matches interests; noise 0 → deterministic argmax.
+  EXPECT_EQ(w.ChooseTask({0, 3, 4}), 0u);
+}
+
+TEST_F(BehaviorTest, DiversityLoverAlternatesAwayFromHistory) {
+  BehavioralWorker w = MakeWorker(/*alpha_latent=*/1.0);
+  const size_t first = w.ChooseTask({0, 1, 3});
+  w.RecordCompletion(first);
+  // Next pick maximizes distance from history; after completing a task
+  // from the {0,1,2} cluster, task 3 or 4 must win.
+  const size_t second = w.ChooseTask({1, 2, 3});
+  if (first == 0 || first == 1) {
+    EXPECT_EQ(second, 3u);
+  }
+}
+
+TEST_F(BehaviorTest, LatentUtilityBlendsBothSignals) {
+  BehavioralWorker rel = MakeWorker(0.0);
+  BehavioralWorker div = MakeWorker(1.0);
+  rel.RecordCompletion(0);
+  div.RecordCompletion(0);
+  // For the relevance-lover, near-duplicate task 1 (rel ~ 0.5) beats
+  // disjoint task 3 (rel 0); for the diversity-lover the reverse.
+  EXPECT_GT(rel.LatentUtility(1), rel.LatentUtility(3));
+  EXPECT_GT(div.LatentUtility(3), div.LatentUtility(1));
+}
+
+TEST_F(BehaviorTest, BoredomRisesOnSimilarStreakAndDecaysOnVariety) {
+  BehavioralWorker w = MakeWorker(0.5);
+  EXPECT_EQ(w.boredom(), 0.0);
+  w.RecordCompletion(0);
+  w.RecordCompletion(1);  // Similarity 0.5 > threshold 0.45.
+  w.RecordCompletion(2);
+  const double bored = w.boredom();
+  EXPECT_GT(bored, 0.0);
+  w.RecordCompletion(3);  // Dissimilar → decay.
+  EXPECT_LT(w.boredom(), bored);
+}
+
+TEST_F(BehaviorTest, BoredomDepressesAccuracy) {
+  BehaviorParams params;
+  params.alpha_latent = 0.5;
+  params.boredom_gain = 1.0;
+  auto accuracy_estimate = [&](bool bored_first) {
+    BehavioralWorker w(&catalog_, DistanceKind::kJaccard,
+                       Worker(1, KeywordVector(64, {1, 2, 3})), params,
+                       Rng(11));
+    if (bored_first) {
+      // A long streak of near-duplicates builds substantial boredom.
+      for (int round = 0; round < 4; ++round) {
+        w.RecordCompletion(0);
+        w.RecordCompletion(1);
+        w.RecordCompletion(2);
+      }
+    }
+    int correct = 0;
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) {
+      if (w.AnswerQuestionCorrectly(1)) ++correct;
+    }
+    return static_cast<double>(correct) / n;
+  };
+  EXPECT_GT(accuracy_estimate(false), accuracy_estimate(true) + 0.05);
+}
+
+TEST_F(BehaviorTest, ChoiceOverheadGrowsWithDisplayedDiversity) {
+  BehaviorParams params;
+  params.time_jitter_sigma = 0.0;  // Deterministic timing.
+  BehavioralWorker w(&catalog_, DistanceKind::kJaccard,
+                     Worker(1, KeywordVector(64, {1})), params, Rng(3));
+  const double similar_set = w.CompletionSeconds(0, {0, 1, 2});
+  const double diverse_set = w.CompletionSeconds(0, {0, 3, 4});
+  EXPECT_GT(diverse_set, similar_set);
+}
+
+TEST_F(BehaviorTest, HigherUtilityLowersLeaveRate) {
+  BehaviorParams params;
+  params.alpha_latent = 0.0;  // Pure relevance preference.
+  auto leave_rate = [&](size_t completed_task) {
+    int leaves = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+      BehavioralWorker w(&catalog_, DistanceKind::kJaccard,
+                         Worker(1, KeywordVector(64, {1, 2, 3})), params,
+                         Rng(1000 + i));
+      w.RecordCompletion(completed_task);
+      if (w.DecidesToLeave()) ++leaves;
+    }
+    return static_cast<double>(leaves) / n;
+  };
+  // Completing the perfectly relevant task 0 (utility 1) retains better
+  // than completing irrelevant task 4 (utility 0).
+  EXPECT_LT(leave_rate(0), leave_rate(4));
+}
+
+TEST_F(BehaviorTest, SampledParamsWithinDocumentedRanges) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const BehaviorParams p = SampleBehaviorParams(&rng);
+    EXPECT_GE(p.alpha_latent, 0.15);
+    EXPECT_LE(p.alpha_latent, 0.85);
+    EXPECT_GE(p.base_accuracy, 0.72);
+    EXPECT_LE(p.base_accuracy, 0.84);
+    EXPECT_GT(p.base_task_seconds, 0.0);
+    EXPECT_GT(p.base_leave_hazard, 0.0);
+  }
+}
+
+TEST_F(BehaviorTest, CompletionSecondsAlwaysPositive) {
+  BehavioralWorker w = MakeWorker(0.5, 0.3, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GT(w.CompletionSeconds(0, {0, 1, 3}), 0.0);
+  }
+}
+
+TEST_F(BehaviorTest, DeterministicGivenSeed) {
+  BehavioralWorker a = MakeWorker(0.5, 0.3, 21);
+  BehavioralWorker b = MakeWorker(0.5, 0.3, 21);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.ChooseTask({0, 1, 2, 3, 4}), b.ChooseTask({0, 1, 2, 3, 4}));
+  }
+}
+
+}  // namespace
+}  // namespace hta

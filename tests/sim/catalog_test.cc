@@ -1,0 +1,192 @@
+#include "sim/catalog.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+TEST(ZipfSamplerTest, UniformWhenExponentZero) {
+  const ZipfSampler zipf(10, 0.0);
+  Rng rng(1);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(rng.NextDouble())];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, n / 10.0 * 0.1);
+  }
+}
+
+TEST(ZipfSamplerTest, SkewedTowardLowIndices) {
+  const ZipfSampler zipf(100, 1.2);
+  Rng rng(2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) ++counts[zipf.Sample(rng.NextDouble())];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[99]);
+}
+
+TEST(ZipfSamplerTest, BoundaryInputs) {
+  const ZipfSampler zipf(5, 1.0);
+  EXPECT_EQ(zipf.Sample(0.0), 0u);
+  EXPECT_LT(zipf.Sample(0.9999999), 5u);
+}
+
+TEST(CatalogTest, GeneratesRequestedShape) {
+  CatalogOptions options;
+  options.num_groups = 10;
+  options.tasks_per_group = 7;
+  options.vocabulary_size = 200;
+  auto catalog = GenerateCatalog(options);
+  ASSERT_TRUE(catalog.ok());
+  EXPECT_EQ(catalog->size(), 70u);
+  EXPECT_EQ(catalog->space.size(), 200u);
+  EXPECT_EQ(catalog->questions_per_task.size(), 70u);
+}
+
+TEST(CatalogTest, TaskIdsAreDenseAndGroupsLabeled) {
+  CatalogOptions options;
+  options.num_groups = 4;
+  options.tasks_per_group = 3;
+  auto catalog = GenerateCatalog(options);
+  ASSERT_TRUE(catalog.ok());
+  for (size_t i = 0; i < catalog->size(); ++i) {
+    EXPECT_EQ(catalog->tasks[i].id(), i);
+    EXPECT_EQ(catalog->tasks[i].group(), i / 3);
+    EXPECT_FALSE(catalog->tasks[i].title().empty());
+  }
+}
+
+TEST(CatalogTest, IntraGroupMoreSimilarThanInterGroup) {
+  CatalogOptions options;
+  options.num_groups = 20;
+  options.tasks_per_group = 10;
+  options.vocabulary_size = 500;
+  auto catalog = GenerateCatalog(options);
+  ASSERT_TRUE(catalog.ok());
+  double intra = 0.0;
+  int intra_n = 0;
+  double inter = 0.0;
+  int inter_n = 0;
+  Rng rng(4);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t a = rng.NextBounded(catalog->size());
+    const size_t b = rng.NextBounded(catalog->size());
+    if (a == b) continue;
+    const double d = PairwiseTaskDiversity(
+        DistanceKind::kJaccard, catalog->tasks[a], catalog->tasks[b]);
+    if (catalog->tasks[a].group() == catalog->tasks[b].group()) {
+      intra += d;
+      ++intra_n;
+    } else {
+      inter += d;
+      ++inter_n;
+    }
+  }
+  ASSERT_GT(intra_n, 10);
+  ASSERT_GT(inter_n, 10);
+  EXPECT_LT(intra / intra_n, inter / inter_n)
+      << "tasks within a group must be more similar than across groups";
+}
+
+TEST(CatalogTest, MoreGroupsMeansMoreDistinctProfiles) {
+  // The Fig. 3 diversity knob: with one group per task, average
+  // pairwise diversity is higher than with few groups.
+  CatalogOptions few;
+  few.num_groups = 2;
+  few.tasks_per_group = 50;
+  few.vocabulary_size = 300;
+  CatalogOptions many;
+  many.num_groups = 100;
+  many.tasks_per_group = 1;
+  many.vocabulary_size = 300;
+  auto catalog_few = GenerateCatalog(few);
+  auto catalog_many = GenerateCatalog(many);
+  ASSERT_TRUE(catalog_few.ok());
+  ASSERT_TRUE(catalog_many.ok());
+  auto mean_diversity = [](const Catalog& c) {
+    double sum = 0.0;
+    int n = 0;
+    for (size_t i = 0; i < c.size(); ++i) {
+      for (size_t j = i + 1; j < c.size(); ++j) {
+        sum += PairwiseTaskDiversity(DistanceKind::kJaccard, c.tasks[i],
+                                     c.tasks[j]);
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  EXPECT_LT(mean_diversity(*catalog_few), mean_diversity(*catalog_many));
+}
+
+TEST(CatalogTest, RewardsAndQuestionsWithinRanges) {
+  CatalogOptions options;
+  options.num_groups = 10;
+  options.tasks_per_group = 10;
+  options.min_reward_usd = 0.01;
+  options.max_reward_usd = 0.12;
+  options.min_questions = 1;
+  options.max_questions = 3;
+  auto catalog = GenerateCatalog(options);
+  ASSERT_TRUE(catalog.ok());
+  for (size_t i = 0; i < catalog->size(); ++i) {
+    EXPECT_GE(catalog->tasks[i].reward_usd(), 0.01);
+    EXPECT_LE(catalog->tasks[i].reward_usd(), 0.12);
+    EXPECT_GE(catalog->questions_per_task[i], 1);
+    EXPECT_LE(catalog->questions_per_task[i], 3);
+  }
+}
+
+TEST(CatalogTest, DeterministicForSeed) {
+  CatalogOptions options;
+  options.num_groups = 5;
+  options.tasks_per_group = 5;
+  auto a = GenerateCatalog(options);
+  auto b = GenerateCatalog(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE(a->tasks[i].keywords() == b->tasks[i].keywords());
+  }
+}
+
+TEST(CatalogTest, RejectsDegenerateOptions) {
+  CatalogOptions options;
+  options.vocabulary_size = 0;
+  EXPECT_FALSE(GenerateCatalog(options).ok());
+
+  options = CatalogOptions();
+  options.num_groups = 0;
+  EXPECT_FALSE(GenerateCatalog(options).ok());
+
+  options = CatalogOptions();
+  options.keywords_per_group = 2000;
+  EXPECT_FALSE(GenerateCatalog(options).ok());
+
+  options = CatalogOptions();
+  options.min_reward_usd = 0.5;
+  options.max_reward_usd = 0.1;
+  EXPECT_FALSE(GenerateCatalog(options).ok());
+
+  options = CatalogOptions();
+  options.min_questions = 0;
+  EXPECT_FALSE(GenerateCatalog(options).ok());
+}
+
+TEST(CatalogTest, TasksHaveNonEmptyKeywords) {
+  CatalogOptions options;
+  options.num_groups = 8;
+  options.tasks_per_group = 8;
+  auto catalog = GenerateCatalog(options);
+  ASSERT_TRUE(catalog.ok());
+  for (const Task& t : catalog->tasks) {
+    EXPECT_GE(t.keywords().Count(), options.keywords_per_group);
+  }
+}
+
+}  // namespace
+}  // namespace hta

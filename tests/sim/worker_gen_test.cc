@@ -1,0 +1,124 @@
+#include "sim/worker_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+
+namespace hta {
+namespace {
+
+Catalog TestCatalog() {
+  CatalogOptions options;
+  options.num_groups = 10;
+  options.tasks_per_group = 10;
+  options.vocabulary_size = 150;
+  auto c = GenerateCatalog(options);
+  HTA_CHECK(c.ok());
+  return std::move(*c);
+}
+
+TEST(WorkerGenTest, GeneratesCountWithFiveKeywords) {
+  const Catalog catalog = TestCatalog();
+  WorkerGenOptions options;
+  options.count = 25;
+  auto workers = GenerateWorkers(options, catalog);
+  ASSERT_TRUE(workers.ok());
+  EXPECT_EQ(workers->size(), 25u);
+  for (const Worker& w : *workers) {
+    EXPECT_EQ(w.interests().Count(), 5u);
+    EXPECT_EQ(w.interests().universe_size(), 150u);
+  }
+}
+
+TEST(WorkerGenTest, IdsAreDense) {
+  const Catalog catalog = TestCatalog();
+  WorkerGenOptions options;
+  options.count = 10;
+  auto workers = GenerateWorkers(options, catalog);
+  ASSERT_TRUE(workers.ok());
+  for (size_t q = 0; q < 10; ++q) {
+    EXPECT_EQ((*workers)[q].id(), q);
+  }
+}
+
+TEST(WorkerGenTest, RandomWeightsSumToOne) {
+  const Catalog catalog = TestCatalog();
+  WorkerGenOptions options;
+  options.count = 50;
+  options.random_weights = true;
+  auto workers = GenerateWorkers(options, catalog);
+  ASSERT_TRUE(workers.ok());
+  bool varied = false;
+  for (const Worker& w : *workers) {
+    EXPECT_NEAR(w.weights().alpha + w.weights().beta, 1.0, 1e-12);
+    if (w.weights().alpha < 0.3 || w.weights().alpha > 0.7) varied = true;
+  }
+  EXPECT_TRUE(varied);
+}
+
+TEST(WorkerGenTest, FixedWeightsWhenDisabled) {
+  const Catalog catalog = TestCatalog();
+  WorkerGenOptions options;
+  options.count = 5;
+  options.random_weights = false;
+  auto workers = GenerateWorkers(options, catalog);
+  ASSERT_TRUE(workers.ok());
+  for (const Worker& w : *workers) {
+    EXPECT_DOUBLE_EQ(w.weights().alpha, 0.5);
+  }
+}
+
+TEST(WorkerGenTest, GroupAffinityRaisesBestRelevance) {
+  const Catalog catalog = TestCatalog();
+  WorkerGenOptions uniform;
+  uniform.count = 40;
+  uniform.group_affinity = 0.0;
+  uniform.seed = 5;
+  WorkerGenOptions affine;
+  affine.count = 40;
+  affine.group_affinity = 0.8;
+  affine.seed = 5;
+  auto uniform_workers = GenerateWorkers(uniform, catalog);
+  auto affine_workers = GenerateWorkers(affine, catalog);
+  ASSERT_TRUE(uniform_workers.ok());
+  ASSERT_TRUE(affine_workers.ok());
+  auto mean_best_rel = [&](const std::vector<Worker>& workers) {
+    double total = 0.0;
+    for (const Worker& w : workers) {
+      double best = 0.0;
+      for (const Task& t : catalog.tasks) {
+        best = std::max(best, TaskRelevance(DistanceKind::kJaccard, t, w));
+      }
+      total += best;
+    }
+    return total / workers.size();
+  };
+  EXPECT_GT(mean_best_rel(*affine_workers),
+            mean_best_rel(*uniform_workers));
+}
+
+TEST(WorkerGenTest, RejectsBadOptions) {
+  const Catalog catalog = TestCatalog();
+  WorkerGenOptions options;
+  options.keywords_per_worker = 1000;
+  EXPECT_FALSE(GenerateWorkers(options, catalog).ok());
+  options = WorkerGenOptions();
+  options.group_affinity = 1.5;
+  EXPECT_FALSE(GenerateWorkers(options, catalog).ok());
+}
+
+TEST(WorkerGenTest, DeterministicForSeed) {
+  const Catalog catalog = TestCatalog();
+  WorkerGenOptions options;
+  options.count = 10;
+  auto a = GenerateWorkers(options, catalog);
+  auto b = GenerateWorkers(options, catalog);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t q = 0; q < 10; ++q) {
+    EXPECT_TRUE((*a)[q].interests() == (*b)[q].interests());
+  }
+}
+
+}  // namespace
+}  // namespace hta

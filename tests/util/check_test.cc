@@ -1,0 +1,56 @@
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+TEST(CheckTest, PassingChecksDoNothing) {
+  HTA_CHECK(true);
+  HTA_CHECK(1 + 1 == 2) << "never evaluated";
+  HTA_CHECK_EQ(2, 2);
+  HTA_CHECK_NE(1, 2);
+  HTA_CHECK_LT(1, 2);
+  HTA_CHECK_LE(2, 2);
+  HTA_CHECK_GT(3, 2);
+  HTA_CHECK_GE(3, 3);
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ HTA_CHECK(false) << "context 123"; }, "context 123");
+}
+
+TEST(CheckDeathTest, FailureMessageNamesCondition) {
+  EXPECT_DEATH({ HTA_CHECK(2 < 1); }, "2 < 1");
+}
+
+TEST(CheckDeathTest, ComparisonChecksPrintOperands) {
+  EXPECT_DEATH({ HTA_CHECK_EQ(3, 4); }, "3 vs 4");
+  EXPECT_DEATH({ HTA_CHECK_LT(9, 2); }, "9 vs 2");
+}
+
+TEST(CheckTest, StreamedMessageNotEvaluatedOnSuccess) {
+  int counter = 0;
+  auto bump = [&counter]() {
+    ++counter;
+    return "side effect";
+  };
+  HTA_CHECK(true) << bump();
+  EXPECT_EQ(counter, 0);
+}
+
+#ifndef NDEBUG
+TEST(CheckDeathTest, DebugChecksActiveInDebugBuilds) {
+  EXPECT_DEATH({ HTA_DCHECK(false); }, "CHECK failed");
+  EXPECT_DEATH({ HTA_DCHECK_EQ(1, 2); }, "1 vs 2");
+}
+#else
+TEST(CheckTest, DebugChecksCompiledOutInRelease) {
+  HTA_DCHECK(false);       // Must not abort.
+  HTA_DCHECK_EQ(1, 2);     // Must not abort.
+  SUCCEED();
+}
+#endif
+
+}  // namespace
+}  // namespace hta

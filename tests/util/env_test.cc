@@ -1,0 +1,73 @@
+#include "util/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("HTA_BENCH_SCALE");
+    unsetenv("HTA_TEST_VAR");
+  }
+};
+
+TEST_F(EnvTest, GetEnvOrFallsBackWhenUnset) {
+  unsetenv("HTA_TEST_VAR");
+  EXPECT_EQ(GetEnvOr("HTA_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST_F(EnvTest, GetEnvOrReadsValue) {
+  setenv("HTA_TEST_VAR", "hello", 1);
+  EXPECT_EQ(GetEnvOr("HTA_TEST_VAR", "fallback"), "hello");
+}
+
+TEST_F(EnvTest, EmptyValueUsesFallback) {
+  setenv("HTA_TEST_VAR", "", 1);
+  EXPECT_EQ(GetEnvOr("HTA_TEST_VAR", "fallback"), "fallback");
+}
+
+TEST_F(EnvTest, GetEnvIntParses) {
+  setenv("HTA_TEST_VAR", "42", 1);
+  EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), 42);
+}
+
+TEST_F(EnvTest, GetEnvIntRejectsGarbage) {
+  setenv("HTA_TEST_VAR", "12abc", 1);
+  EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), 7);
+  setenv("HTA_TEST_VAR", "abc", 1);
+  EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), 7);
+}
+
+TEST_F(EnvTest, GetEnvIntNegative) {
+  setenv("HTA_TEST_VAR", "-5", 1);
+  EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), -5);
+}
+
+TEST_F(EnvTest, BenchScaleDefault) {
+  unsetenv("HTA_BENCH_SCALE");
+  EXPECT_EQ(GetBenchScale(), BenchScale::kDefault);
+}
+
+TEST_F(EnvTest, BenchScaleParsesAllValuesCaseInsensitive) {
+  setenv("HTA_BENCH_SCALE", "smoke", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kSmoke);
+  setenv("HTA_BENCH_SCALE", "PAPER", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kPaper);
+  setenv("HTA_BENCH_SCALE", "Default", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kDefault);
+  setenv("HTA_BENCH_SCALE", "bogus", 1);
+  EXPECT_EQ(GetBenchScale(), BenchScale::kDefault);
+}
+
+TEST_F(EnvTest, BenchScaleNamesRoundTrip) {
+  EXPECT_EQ(BenchScaleName(BenchScale::kSmoke), "smoke");
+  EXPECT_EQ(BenchScaleName(BenchScale::kDefault), "default");
+  EXPECT_EQ(BenchScaleName(BenchScale::kPaper), "paper");
+}
+
+}  // namespace
+}  // namespace hta

@@ -1,0 +1,184 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+TEST(SummarizeTest, EmptySample) {
+  const SampleSummary s = Summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(SummarizeTest, SingleValue) {
+  const SampleSummary s = Summarize({4.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 4.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(SummarizeTest, KnownSample) {
+  const SampleSummary s = Summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev with n-1: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50).value(), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100).value(), 5.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25).value(), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(v, 75).value(), 7.5);
+}
+
+TEST(PercentileTest, RejectsEmptyAndOutOfRange) {
+  EXPECT_FALSE(Percentile({}, 50).ok());
+  EXPECT_FALSE(Percentile({1.0}, -1).ok());
+  EXPECT_FALSE(Percentile({1.0}, 101).ok());
+}
+
+TEST(NormalCdfTest, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormalCdf(5.0), 1.0, 1e-6);
+}
+
+TEST(TwoProportionZTest, EqualProportionsGiveHighP) {
+  const auto r = TwoProportionZTest(50, 100, 50, 100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->statistic, 0.0, 1e-12);
+  EXPECT_NEAR(r->p_value, 1.0, 1e-12);
+}
+
+TEST(TwoProportionZTest, LargeGapIsSignificant) {
+  // Roughly the paper's Fig. 5a comparison: 81.9% vs 65% on a few
+  // hundred questions each.
+  const auto r = TwoProportionZTest(327, 400, 260, 400);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(std::abs(r->statistic), 2.0);
+  EXPECT_LT(r->p_value, 0.01);
+}
+
+TEST(TwoProportionZTest, MatchesHandComputedZ) {
+  // p1=0.6 (60/100), p2=0.5 (50/100), pooled=0.55.
+  const auto r = TwoProportionZTest(60, 100, 50, 100);
+  ASSERT_TRUE(r.ok());
+  const double se = std::sqrt(0.55 * 0.45 * (0.01 + 0.01));
+  EXPECT_NEAR(r->statistic, 0.1 / se, 1e-9);
+}
+
+TEST(TwoProportionZTest, RejectsBadInputs) {
+  EXPECT_FALSE(TwoProportionZTest(1, 0, 1, 2).ok());
+  EXPECT_FALSE(TwoProportionZTest(3, 2, 1, 2).ok());
+}
+
+TEST(TwoProportionZTest, DegenerateAllSuccesses) {
+  const auto r = TwoProportionZTest(10, 10, 10, 10);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->p_value, 1.0);  // Zero pooled variance: no evidence.
+}
+
+TEST(MannWhitneyUTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8};
+  const auto r = MannWhitneyUTest(a, a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_value, 0.8);
+}
+
+TEST(MannWhitneyUTest, SeparatedSamplesSignificant) {
+  std::vector<double> a{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  std::vector<double> b{11, 12, 13, 14, 15, 16, 17, 18, 19, 20};
+  const auto r = MannWhitneyUTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r->p_value, 0.001);
+  // U for sample a against fully larger b is 0.
+  EXPECT_DOUBLE_EQ(r->statistic, 0.0);
+}
+
+TEST(MannWhitneyUTest, SymmetricInSamples) {
+  std::vector<double> a{1, 5, 7, 9};
+  std::vector<double> b{2, 3, 8, 10, 12};
+  const auto ab = MannWhitneyUTest(a, b);
+  const auto ba = MannWhitneyUTest(b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_NEAR(ab->p_value, ba->p_value, 1e-9);
+  // U_a + U_b == n1 * n2.
+  EXPECT_NEAR(ab->statistic + ba->statistic, 4.0 * 5.0, 1e-9);
+}
+
+TEST(MannWhitneyUTest, HandlesTies) {
+  std::vector<double> a{1, 1, 2, 2};
+  std::vector<double> b{1, 2, 2, 3};
+  const auto r = MannWhitneyUTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(r->p_value, 0.0);
+  EXPECT_LE(r->p_value, 1.0);
+}
+
+TEST(MannWhitneyUTest, RejectsEmpty) {
+  EXPECT_FALSE(MannWhitneyUTest({}, {1.0}).ok());
+  EXPECT_FALSE(MannWhitneyUTest({1.0}, {}).ok());
+}
+
+TEST(BootstrapTest, CoversTrueMeanOfTightSample) {
+  Rng rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) values.push_back(10.0 + rng.NextGaussian());
+  const auto ci = BootstrapMeanCi(values, 0.95, 500, &rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LT(ci->lower, 10.1);
+  EXPECT_GT(ci->upper, 9.9);
+  EXPECT_LT(ci->upper - ci->lower, 1.0);
+  EXPECT_LE(ci->lower, ci->upper);
+}
+
+TEST(BootstrapTest, RejectsBadInputs) {
+  Rng rng(1);
+  EXPECT_FALSE(BootstrapMeanCi({}, 0.95, 100, &rng).ok());
+  EXPECT_FALSE(BootstrapMeanCi({1.0}, 0.0, 100, &rng).ok());
+  EXPECT_FALSE(BootstrapMeanCi({1.0}, 1.0, 100, &rng).ok());
+  EXPECT_FALSE(BootstrapMeanCi({1.0}, 0.95, 0, &rng).ok());
+}
+
+TEST(RunningStatTest, MatchesBatchSummary) {
+  std::vector<double> values{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat rs;
+  for (double v : values) rs.Add(v);
+  const SampleSummary s = Summarize(values);
+  EXPECT_EQ(rs.count(), s.n);
+  EXPECT_NEAR(rs.mean(), s.mean, 1e-12);
+  EXPECT_NEAR(rs.stddev(), s.stddev, 1e-12);
+}
+
+TEST(RunningStatTest, EmptyAndSingle) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.Add(3.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 3.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace hta

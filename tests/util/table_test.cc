@@ -1,0 +1,80 @@
+#include "util/table.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+TEST(TableWriterTest, PrintsAlignedColumns) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Header separator line of dashes present.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Column alignment: "value" column starts at same offset in each line.
+  std::istringstream lines(out);
+  std::string header, sep, row1, row2;
+  std::getline(lines, header);
+  std::getline(lines, sep);
+  std::getline(lines, row1);
+  std::getline(lines, row2);
+  EXPECT_EQ(header.find("value"), row1.find("1"));
+  EXPECT_EQ(header.find("value"), row2.find("22"));
+}
+
+TEST(TableWriterTest, RowCountTracksRows) {
+  TableWriter t({"a"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"x"});
+  t.AddRow({"y"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TableWriterDeathTest, RowWidthMismatchAborts) {
+  TableWriter t({"a", "b"});
+  EXPECT_DEATH({ t.AddRow({"only-one"}); }, "CHECK failed");
+}
+
+TEST(TableWriterDeathTest, EmptyHeaderAborts) {
+  EXPECT_DEATH({ TableWriter t({}); }, "at least one column");
+}
+
+TEST(TableWriterTest, CsvPlainCells) {
+  TableWriter t({"x", "y"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n");
+}
+
+TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
+  TableWriter t({"text"});
+  t.AddRow({"a,b"});
+  t.AddRow({"say \"hi\""});
+  EXPECT_EQ(t.ToCsv(), "text\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(FmtTest, DoubleRespectsPrecision) {
+  EXPECT_EQ(FmtDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FmtDouble(3.14159, 0), "3");
+  EXPECT_EQ(FmtDouble(-1.5, 3), "-1.500");
+}
+
+TEST(FmtTest, IntFormats) {
+  EXPECT_EQ(FmtInt(0), "0");
+  EXPECT_EQ(FmtInt(-42), "-42");
+  EXPECT_EQ(FmtInt(123456789012345LL), "123456789012345");
+}
+
+TEST(FmtTest, PercentFromFraction) {
+  EXPECT_EQ(FmtPercent(0.819, 1), "81.9%");
+  EXPECT_EQ(FmtPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace hta
