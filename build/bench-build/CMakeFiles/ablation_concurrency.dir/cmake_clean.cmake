@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_concurrency"
+  "../bench/ablation_concurrency.pdb"
+  "CMakeFiles/ablation_concurrency.dir/ablation_concurrency.cc.o"
+  "CMakeFiles/ablation_concurrency.dir/ablation_concurrency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

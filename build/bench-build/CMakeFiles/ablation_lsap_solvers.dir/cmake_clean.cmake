@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lsap_solvers"
+  "../bench/ablation_lsap_solvers.pdb"
+  "CMakeFiles/ablation_lsap_solvers.dir/ablation_lsap_solvers.cc.o"
+  "CMakeFiles/ablation_lsap_solvers.dir/ablation_lsap_solvers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lsap_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_matching"
+  "../bench/ablation_matching.pdb"
+  "CMakeFiles/ablation_matching.dir/ablation_matching.cc.o"
+  "CMakeFiles/ablation_matching.dir/ablation_matching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_metrics"
+  "../bench/ablation_metrics.pdb"
+  "CMakeFiles/ablation_metrics.dir/ablation_metrics.cc.o"
+  "CMakeFiles/ablation_metrics.dir/ablation_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_redundancy"
+  "../bench/ablation_redundancy.pdb"
+  "CMakeFiles/ablation_redundancy.dir/ablation_redundancy.cc.o"
+  "CMakeFiles/ablation_redundancy.dir/ablation_redundancy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

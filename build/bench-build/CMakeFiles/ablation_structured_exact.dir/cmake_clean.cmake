@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_structured_exact"
+  "../bench/ablation_structured_exact.pdb"
+  "CMakeFiles/ablation_structured_exact.dir/ablation_structured_exact.cc.o"
+  "CMakeFiles/ablation_structured_exact.dir/ablation_structured_exact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_structured_exact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

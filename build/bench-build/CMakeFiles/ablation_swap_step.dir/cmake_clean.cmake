@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_swap_step"
+  "../bench/ablation_swap_step.pdb"
+  "CMakeFiles/ablation_swap_step.dir/ablation_swap_step.cc.o"
+  "CMakeFiles/ablation_swap_step.dir/ablation_swap_step.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_swap_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_xmax"
+  "../bench/ablation_xmax.pdb"
+  "CMakeFiles/ablation_xmax.dir/ablation_xmax.cc.o"
+  "CMakeFiles/ablation_xmax.dir/ablation_xmax.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_xmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2a_time_vs_tasks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2b_objective_vs_tasks"
+  "../bench/fig2b_objective_vs_tasks.pdb"
+  "CMakeFiles/fig2b_objective_vs_tasks.dir/fig2b_objective_vs_tasks.cc.o"
+  "CMakeFiles/fig2b_objective_vs_tasks.dir/fig2b_objective_vs_tasks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2b_objective_vs_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2b_objective_vs_tasks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2c_time_vs_workers"
+  "../bench/fig2c_time_vs_workers.pdb"
+  "CMakeFiles/fig2c_time_vs_workers.dir/fig2c_time_vs_workers.cc.o"
+  "CMakeFiles/fig2c_time_vs_workers.dir/fig2c_time_vs_workers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2c_time_vs_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2c_time_vs_workers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_time_vs_groups"
+  "../bench/fig3_time_vs_groups.pdb"
+  "CMakeFiles/fig3_time_vs_groups.dir/fig3_time_vs_groups.cc.o"
+  "CMakeFiles/fig3_time_vs_groups.dir/fig3_time_vs_groups.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_time_vs_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

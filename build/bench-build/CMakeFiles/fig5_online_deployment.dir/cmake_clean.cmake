@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_online_deployment"
+  "../bench/fig5_online_deployment.pdb"
+  "CMakeFiles/fig5_online_deployment.dir/fig5_online_deployment.cc.o"
+  "CMakeFiles/fig5_online_deployment.dir/fig5_online_deployment.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_online_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_worked_example"
+  "../bench/table1_worked_example.pdb"
+  "CMakeFiles/table1_worked_example.dir/table1_worked_example.cc.o"
+  "CMakeFiles/table1_worked_example.dir/table1_worked_example.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_worked_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_session.dir/adaptive_session.cpp.o"
+  "CMakeFiles/adaptive_session.dir/adaptive_session.cpp.o.d"
+  "adaptive_session"
+  "adaptive_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_replay.dir/audit_replay.cpp.o"
+  "CMakeFiles/audit_replay.dir/audit_replay.cpp.o.d"
+  "audit_replay"
+  "audit_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/team_formation.dir/team_formation.cpp.o"
+  "CMakeFiles/team_formation.dir/team_formation.cpp.o.d"
+  "team_formation"
+  "team_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/team_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

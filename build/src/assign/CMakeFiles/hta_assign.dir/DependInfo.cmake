@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/assignment.cc" "src/assign/CMakeFiles/hta_assign.dir/assignment.cc.o" "gcc" "src/assign/CMakeFiles/hta_assign.dir/assignment.cc.o.d"
+  "/root/repo/src/assign/baselines.cc" "src/assign/CMakeFiles/hta_assign.dir/baselines.cc.o" "gcc" "src/assign/CMakeFiles/hta_assign.dir/baselines.cc.o.d"
+  "/root/repo/src/assign/brute_force.cc" "src/assign/CMakeFiles/hta_assign.dir/brute_force.cc.o" "gcc" "src/assign/CMakeFiles/hta_assign.dir/brute_force.cc.o.d"
+  "/root/repo/src/assign/hta_solver.cc" "src/assign/CMakeFiles/hta_assign.dir/hta_solver.cc.o" "gcc" "src/assign/CMakeFiles/hta_assign.dir/hta_solver.cc.o.d"
+  "/root/repo/src/assign/local_search.cc" "src/assign/CMakeFiles/hta_assign.dir/local_search.cc.o" "gcc" "src/assign/CMakeFiles/hta_assign.dir/local_search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qap/CMakeFiles/hta_qap.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hta_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_assign.dir/assignment.cc.o"
+  "CMakeFiles/hta_assign.dir/assignment.cc.o.d"
+  "CMakeFiles/hta_assign.dir/baselines.cc.o"
+  "CMakeFiles/hta_assign.dir/baselines.cc.o.d"
+  "CMakeFiles/hta_assign.dir/brute_force.cc.o"
+  "CMakeFiles/hta_assign.dir/brute_force.cc.o.d"
+  "CMakeFiles/hta_assign.dir/hta_solver.cc.o"
+  "CMakeFiles/hta_assign.dir/hta_solver.cc.o.d"
+  "CMakeFiles/hta_assign.dir/local_search.cc.o"
+  "CMakeFiles/hta_assign.dir/local_search.cc.o.d"
+  "libhta_assign.a"
+  "libhta_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

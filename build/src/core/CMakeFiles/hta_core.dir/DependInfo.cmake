@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/distance.cc" "src/core/CMakeFiles/hta_core.dir/distance.cc.o" "gcc" "src/core/CMakeFiles/hta_core.dir/distance.cc.o.d"
+  "/root/repo/src/core/distance_oracle.cc" "src/core/CMakeFiles/hta_core.dir/distance_oracle.cc.o" "gcc" "src/core/CMakeFiles/hta_core.dir/distance_oracle.cc.o.d"
+  "/root/repo/src/core/keyword_space.cc" "src/core/CMakeFiles/hta_core.dir/keyword_space.cc.o" "gcc" "src/core/CMakeFiles/hta_core.dir/keyword_space.cc.o.d"
+  "/root/repo/src/core/keyword_vector.cc" "src/core/CMakeFiles/hta_core.dir/keyword_vector.cc.o" "gcc" "src/core/CMakeFiles/hta_core.dir/keyword_vector.cc.o.d"
+  "/root/repo/src/core/motivation.cc" "src/core/CMakeFiles/hta_core.dir/motivation.cc.o" "gcc" "src/core/CMakeFiles/hta_core.dir/motivation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

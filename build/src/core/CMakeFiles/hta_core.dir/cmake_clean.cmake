@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_core.dir/distance.cc.o"
+  "CMakeFiles/hta_core.dir/distance.cc.o.d"
+  "CMakeFiles/hta_core.dir/distance_oracle.cc.o"
+  "CMakeFiles/hta_core.dir/distance_oracle.cc.o.d"
+  "CMakeFiles/hta_core.dir/keyword_space.cc.o"
+  "CMakeFiles/hta_core.dir/keyword_space.cc.o.d"
+  "CMakeFiles/hta_core.dir/keyword_vector.cc.o"
+  "CMakeFiles/hta_core.dir/keyword_vector.cc.o.d"
+  "CMakeFiles/hta_core.dir/motivation.cc.o"
+  "CMakeFiles/hta_core.dir/motivation.cc.o.d"
+  "libhta_core.a"
+  "libhta_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

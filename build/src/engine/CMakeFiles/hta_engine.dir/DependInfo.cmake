@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/assignment_service.cc" "src/engine/CMakeFiles/hta_engine.dir/assignment_service.cc.o" "gcc" "src/engine/CMakeFiles/hta_engine.dir/assignment_service.cc.o.d"
+  "/root/repo/src/engine/event_log.cc" "src/engine/CMakeFiles/hta_engine.dir/event_log.cc.o" "gcc" "src/engine/CMakeFiles/hta_engine.dir/event_log.cc.o.d"
+  "/root/repo/src/engine/motivation_estimator.cc" "src/engine/CMakeFiles/hta_engine.dir/motivation_estimator.cc.o" "gcc" "src/engine/CMakeFiles/hta_engine.dir/motivation_estimator.cc.o.d"
+  "/root/repo/src/engine/task_pool.cc" "src/engine/CMakeFiles/hta_engine.dir/task_pool.cc.o" "gcc" "src/engine/CMakeFiles/hta_engine.dir/task_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/assign/CMakeFiles/hta_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qap/CMakeFiles/hta_qap.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hta_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

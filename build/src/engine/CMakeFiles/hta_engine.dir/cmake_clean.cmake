@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_engine.dir/assignment_service.cc.o"
+  "CMakeFiles/hta_engine.dir/assignment_service.cc.o.d"
+  "CMakeFiles/hta_engine.dir/event_log.cc.o"
+  "CMakeFiles/hta_engine.dir/event_log.cc.o.d"
+  "CMakeFiles/hta_engine.dir/motivation_estimator.cc.o"
+  "CMakeFiles/hta_engine.dir/motivation_estimator.cc.o.d"
+  "CMakeFiles/hta_engine.dir/task_pool.cc.o"
+  "CMakeFiles/hta_engine.dir/task_pool.cc.o.d"
+  "libhta_engine.a"
+  "libhta_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhta_engine.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_io.dir/catalog_io.cc.o"
+  "CMakeFiles/hta_io.dir/catalog_io.cc.o.d"
+  "CMakeFiles/hta_io.dir/csv.cc.o"
+  "CMakeFiles/hta_io.dir/csv.cc.o.d"
+  "libhta_io.a"
+  "libhta_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/lsap.cc" "src/matching/CMakeFiles/hta_matching.dir/lsap.cc.o" "gcc" "src/matching/CMakeFiles/hta_matching.dir/lsap.cc.o.d"
+  "/root/repo/src/matching/max_weight_matching.cc" "src/matching/CMakeFiles/hta_matching.dir/max_weight_matching.cc.o" "gcc" "src/matching/CMakeFiles/hta_matching.dir/max_weight_matching.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_matching.dir/lsap.cc.o"
+  "CMakeFiles/hta_matching.dir/lsap.cc.o.d"
+  "CMakeFiles/hta_matching.dir/max_weight_matching.cc.o"
+  "CMakeFiles/hta_matching.dir/max_weight_matching.cc.o.d"
+  "libhta_matching.a"
+  "libhta_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qap/hta_problem.cc" "src/qap/CMakeFiles/hta_qap.dir/hta_problem.cc.o" "gcc" "src/qap/CMakeFiles/hta_qap.dir/hta_problem.cc.o.d"
+  "/root/repo/src/qap/qap_view.cc" "src/qap/CMakeFiles/hta_qap.dir/qap_view.cc.o" "gcc" "src/qap/CMakeFiles/hta_qap.dir/qap_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

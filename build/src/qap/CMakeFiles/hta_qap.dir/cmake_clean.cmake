@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_qap.dir/hta_problem.cc.o"
+  "CMakeFiles/hta_qap.dir/hta_problem.cc.o.d"
+  "CMakeFiles/hta_qap.dir/qap_view.cc.o"
+  "CMakeFiles/hta_qap.dir/qap_view.cc.o.d"
+  "libhta_qap.a"
+  "libhta_qap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_qap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

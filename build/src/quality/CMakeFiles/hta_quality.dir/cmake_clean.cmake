@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_quality.dir/aggregation.cc.o"
+  "CMakeFiles/hta_quality.dir/aggregation.cc.o.d"
+  "libhta_quality.a"
+  "libhta_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/behavior.cc" "src/sim/CMakeFiles/hta_sim.dir/behavior.cc.o" "gcc" "src/sim/CMakeFiles/hta_sim.dir/behavior.cc.o.d"
+  "/root/repo/src/sim/catalog.cc" "src/sim/CMakeFiles/hta_sim.dir/catalog.cc.o" "gcc" "src/sim/CMakeFiles/hta_sim.dir/catalog.cc.o.d"
+  "/root/repo/src/sim/concurrent_deployment.cc" "src/sim/CMakeFiles/hta_sim.dir/concurrent_deployment.cc.o" "gcc" "src/sim/CMakeFiles/hta_sim.dir/concurrent_deployment.cc.o.d"
+  "/root/repo/src/sim/crowd_sim.cc" "src/sim/CMakeFiles/hta_sim.dir/crowd_sim.cc.o" "gcc" "src/sim/CMakeFiles/hta_sim.dir/crowd_sim.cc.o.d"
+  "/root/repo/src/sim/online_experiment.cc" "src/sim/CMakeFiles/hta_sim.dir/online_experiment.cc.o" "gcc" "src/sim/CMakeFiles/hta_sim.dir/online_experiment.cc.o.d"
+  "/root/repo/src/sim/worker_gen.cc" "src/sim/CMakeFiles/hta_sim.dir/worker_gen.cc.o" "gcc" "src/sim/CMakeFiles/hta_sim.dir/worker_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/hta_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/hta_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hta_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qap/CMakeFiles/hta_qap.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hta_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

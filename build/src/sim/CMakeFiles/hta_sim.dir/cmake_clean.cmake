@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_sim.dir/behavior.cc.o"
+  "CMakeFiles/hta_sim.dir/behavior.cc.o.d"
+  "CMakeFiles/hta_sim.dir/catalog.cc.o"
+  "CMakeFiles/hta_sim.dir/catalog.cc.o.d"
+  "CMakeFiles/hta_sim.dir/concurrent_deployment.cc.o"
+  "CMakeFiles/hta_sim.dir/concurrent_deployment.cc.o.d"
+  "CMakeFiles/hta_sim.dir/crowd_sim.cc.o"
+  "CMakeFiles/hta_sim.dir/crowd_sim.cc.o.d"
+  "CMakeFiles/hta_sim.dir/online_experiment.cc.o"
+  "CMakeFiles/hta_sim.dir/online_experiment.cc.o.d"
+  "CMakeFiles/hta_sim.dir/worker_gen.cc.o"
+  "CMakeFiles/hta_sim.dir/worker_gen.cc.o.d"
+  "libhta_sim.a"
+  "libhta_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

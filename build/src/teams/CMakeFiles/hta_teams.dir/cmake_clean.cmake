@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_teams.dir/team_formation.cc.o"
+  "CMakeFiles/hta_teams.dir/team_formation.cc.o.d"
+  "libhta_teams.a"
+  "libhta_teams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_teams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

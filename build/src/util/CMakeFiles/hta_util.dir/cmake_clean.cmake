@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_util.dir/env.cc.o"
+  "CMakeFiles/hta_util.dir/env.cc.o.d"
+  "CMakeFiles/hta_util.dir/rng.cc.o"
+  "CMakeFiles/hta_util.dir/rng.cc.o.d"
+  "CMakeFiles/hta_util.dir/stats.cc.o"
+  "CMakeFiles/hta_util.dir/stats.cc.o.d"
+  "CMakeFiles/hta_util.dir/status.cc.o"
+  "CMakeFiles/hta_util.dir/status.cc.o.d"
+  "CMakeFiles/hta_util.dir/table.cc.o"
+  "CMakeFiles/hta_util.dir/table.cc.o.d"
+  "libhta_util.a"
+  "libhta_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_approximation_test.dir/assign/approximation_test.cc.o"
+  "CMakeFiles/assign_approximation_test.dir/assign/approximation_test.cc.o.d"
+  "assign_approximation_test"
+  "assign_approximation_test.pdb"
+  "assign_approximation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_approximation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

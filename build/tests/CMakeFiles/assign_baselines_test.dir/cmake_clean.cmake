@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_baselines_test.dir/assign/baselines_test.cc.o"
+  "CMakeFiles/assign_baselines_test.dir/assign/baselines_test.cc.o.d"
+  "assign_baselines_test"
+  "assign_baselines_test.pdb"
+  "assign_baselines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_certificate_test.dir/assign/certificate_test.cc.o"
+  "CMakeFiles/assign_certificate_test.dir/assign/certificate_test.cc.o.d"
+  "assign_certificate_test"
+  "assign_certificate_test.pdb"
+  "assign_certificate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_certificate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

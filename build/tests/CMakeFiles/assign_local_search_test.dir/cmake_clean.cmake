@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_local_search_test.dir/assign/local_search_test.cc.o"
+  "CMakeFiles/assign_local_search_test.dir/assign/local_search_test.cc.o.d"
+  "assign_local_search_test"
+  "assign_local_search_test.pdb"
+  "assign_local_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_local_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_property_test.dir/assign/solver_property_test.cc.o"
+  "CMakeFiles/assign_property_test.dir/assign/solver_property_test.cc.o.d"
+  "assign_property_test"
+  "assign_property_test.pdb"
+  "assign_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

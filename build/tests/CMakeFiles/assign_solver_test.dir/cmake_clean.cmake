@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_solver_test.dir/assign/hta_solver_test.cc.o"
+  "CMakeFiles/assign_solver_test.dir/assign/hta_solver_test.cc.o.d"
+  "assign_solver_test"
+  "assign_solver_test.pdb"
+  "assign_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_worked_example_test.dir/assign/worked_example_test.cc.o"
+  "CMakeFiles/assign_worked_example_test.dir/assign/worked_example_test.cc.o.d"
+  "assign_worked_example_test"
+  "assign_worked_example_test.pdb"
+  "assign_worked_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_worked_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

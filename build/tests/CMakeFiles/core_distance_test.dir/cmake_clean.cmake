@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_distance_test.dir/core/distance_test.cc.o"
+  "CMakeFiles/core_distance_test.dir/core/distance_test.cc.o.d"
+  "core_distance_test"
+  "core_distance_test.pdb"
+  "core_distance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_keyword_vector_test.dir/core/keyword_vector_test.cc.o"
+  "CMakeFiles/core_keyword_vector_test.dir/core/keyword_vector_test.cc.o.d"
+  "core_keyword_vector_test"
+  "core_keyword_vector_test.pdb"
+  "core_keyword_vector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_keyword_vector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_motivation_test.dir/core/motivation_test.cc.o"
+  "CMakeFiles/core_motivation_test.dir/core/motivation_test.cc.o.d"
+  "core_motivation_test"
+  "core_motivation_test.pdb"
+  "core_motivation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_motivation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

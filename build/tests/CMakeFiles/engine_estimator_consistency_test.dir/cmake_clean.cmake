@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_estimator_consistency_test.dir/engine/estimator_consistency_test.cc.o"
+  "CMakeFiles/engine_estimator_consistency_test.dir/engine/estimator_consistency_test.cc.o.d"
+  "engine_estimator_consistency_test"
+  "engine_estimator_consistency_test.pdb"
+  "engine_estimator_consistency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_estimator_consistency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

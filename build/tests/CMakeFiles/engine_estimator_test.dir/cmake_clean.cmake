@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_estimator_test.dir/engine/motivation_estimator_test.cc.o"
+  "CMakeFiles/engine_estimator_test.dir/engine/motivation_estimator_test.cc.o.d"
+  "engine_estimator_test"
+  "engine_estimator_test.pdb"
+  "engine_estimator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_estimator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

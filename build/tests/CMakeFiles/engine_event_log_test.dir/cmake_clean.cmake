@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_event_log_test.dir/engine/event_log_test.cc.o"
+  "CMakeFiles/engine_event_log_test.dir/engine/event_log_test.cc.o.d"
+  "engine_event_log_test"
+  "engine_event_log_test.pdb"
+  "engine_event_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_event_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

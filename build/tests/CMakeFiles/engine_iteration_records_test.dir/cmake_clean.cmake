@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_iteration_records_test.dir/engine/iteration_records_test.cc.o"
+  "CMakeFiles/engine_iteration_records_test.dir/engine/iteration_records_test.cc.o.d"
+  "engine_iteration_records_test"
+  "engine_iteration_records_test.pdb"
+  "engine_iteration_records_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_iteration_records_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

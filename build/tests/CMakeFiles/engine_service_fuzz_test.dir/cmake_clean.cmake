@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_service_fuzz_test.dir/engine/service_fuzz_test.cc.o"
+  "CMakeFiles/engine_service_fuzz_test.dir/engine/service_fuzz_test.cc.o.d"
+  "engine_service_fuzz_test"
+  "engine_service_fuzz_test.pdb"
+  "engine_service_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_service_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_public_api_test.dir/integration/public_api_test.cc.o"
+  "CMakeFiles/integration_public_api_test.dir/integration/public_api_test.cc.o.d"
+  "integration_public_api_test"
+  "integration_public_api_test.pdb"
+  "integration_public_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_public_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

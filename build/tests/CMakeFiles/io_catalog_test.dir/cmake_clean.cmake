@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_catalog_test.dir/io/catalog_io_test.cc.o"
+  "CMakeFiles/io_catalog_test.dir/io/catalog_io_test.cc.o.d"
+  "io_catalog_test"
+  "io_catalog_test.pdb"
+  "io_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

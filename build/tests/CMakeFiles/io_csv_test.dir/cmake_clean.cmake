@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/io_csv_test.dir/io/csv_test.cc.o"
+  "CMakeFiles/io_csv_test.dir/io/csv_test.cc.o.d"
+  "io_csv_test"
+  "io_csv_test.pdb"
+  "io_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/io_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_edge_cases_test.dir/matching/matching_edge_cases_test.cc.o"
+  "CMakeFiles/matching_edge_cases_test.dir/matching/matching_edge_cases_test.cc.o.d"
+  "matching_edge_cases_test"
+  "matching_edge_cases_test.pdb"
+  "matching_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

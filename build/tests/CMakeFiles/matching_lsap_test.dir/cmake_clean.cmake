@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_lsap_test.dir/matching/lsap_test.cc.o"
+  "CMakeFiles/matching_lsap_test.dir/matching/lsap_test.cc.o.d"
+  "matching_lsap_test"
+  "matching_lsap_test.pdb"
+  "matching_lsap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_lsap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_max_weight_test.dir/matching/max_weight_matching_test.cc.o"
+  "CMakeFiles/matching_max_weight_test.dir/matching/max_weight_matching_test.cc.o.d"
+  "matching_max_weight_test"
+  "matching_max_weight_test.pdb"
+  "matching_max_weight_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_max_weight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

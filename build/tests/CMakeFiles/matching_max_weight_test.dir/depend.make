@@ -1,0 +1,2 @@
+# Empty dependencies file for matching_max_weight_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qap_problem_test.dir/qap/hta_problem_test.cc.o"
+  "CMakeFiles/qap_problem_test.dir/qap/hta_problem_test.cc.o.d"
+  "qap_problem_test"
+  "qap_problem_test.pdb"
+  "qap_problem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qap_problem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qap_problem_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qap_view_test.dir/qap/qap_view_test.cc.o"
+  "CMakeFiles/qap_view_test.dir/qap/qap_view_test.cc.o.d"
+  "qap_view_test"
+  "qap_view_test.pdb"
+  "qap_view_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qap_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

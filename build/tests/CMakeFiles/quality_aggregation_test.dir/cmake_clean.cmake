@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_aggregation_test.dir/quality/aggregation_test.cc.o"
+  "CMakeFiles/quality_aggregation_test.dir/quality/aggregation_test.cc.o.d"
+  "quality_aggregation_test"
+  "quality_aggregation_test.pdb"
+  "quality_aggregation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_aggregation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_catalog_test.dir/sim/catalog_test.cc.o"
+  "CMakeFiles/sim_catalog_test.dir/sim/catalog_test.cc.o.d"
+  "sim_catalog_test"
+  "sim_catalog_test.pdb"
+  "sim_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_concurrent_test.dir/sim/concurrent_deployment_test.cc.o"
+  "CMakeFiles/sim_concurrent_test.dir/sim/concurrent_deployment_test.cc.o.d"
+  "sim_concurrent_test"
+  "sim_concurrent_test.pdb"
+  "sim_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

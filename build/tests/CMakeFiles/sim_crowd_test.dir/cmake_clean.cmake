@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_crowd_test.dir/sim/crowd_sim_test.cc.o"
+  "CMakeFiles/sim_crowd_test.dir/sim/crowd_sim_test.cc.o.d"
+  "sim_crowd_test"
+  "sim_crowd_test.pdb"
+  "sim_crowd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_crowd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/online_experiment_test.cc" "tests/CMakeFiles/sim_online_experiment_test.dir/sim/online_experiment_test.cc.o" "gcc" "tests/CMakeFiles/sim_online_experiment_test.dir/sim/online_experiment_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/hta_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hta_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hta_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/hta_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/hta_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/qap/CMakeFiles/hta_qap.dir/DependInfo.cmake"
+  "/root/repo/build/src/teams/CMakeFiles/hta_teams.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hta_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/hta_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hta_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_online_experiment_test.dir/sim/online_experiment_test.cc.o"
+  "CMakeFiles/sim_online_experiment_test.dir/sim/online_experiment_test.cc.o.d"
+  "sim_online_experiment_test"
+  "sim_online_experiment_test.pdb"
+  "sim_online_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_online_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

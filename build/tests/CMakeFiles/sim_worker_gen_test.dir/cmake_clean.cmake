@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_worker_gen_test.dir/sim/worker_gen_test.cc.o"
+  "CMakeFiles/sim_worker_gen_test.dir/sim/worker_gen_test.cc.o.d"
+  "sim_worker_gen_test"
+  "sim_worker_gen_test.pdb"
+  "sim_worker_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_worker_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

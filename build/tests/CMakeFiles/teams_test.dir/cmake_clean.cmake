@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/teams_test.dir/teams/team_formation_test.cc.o"
+  "CMakeFiles/teams_test.dir/teams/team_formation_test.cc.o.d"
+  "teams_test"
+  "teams_test.pdb"
+  "teams_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/teams_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_check_test.dir/util/check_test.cc.o"
+  "CMakeFiles/util_check_test.dir/util/check_test.cc.o.d"
+  "util_check_test"
+  "util_check_test.pdb"
+  "util_check_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_check_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_env_test.dir/util/env_test.cc.o"
+  "CMakeFiles/util_env_test.dir/util/env_test.cc.o.d"
+  "util_env_test"
+  "util_env_test.pdb"
+  "util_env_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_env_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

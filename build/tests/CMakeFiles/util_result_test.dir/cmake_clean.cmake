@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_result_test.dir/util/result_test.cc.o"
+  "CMakeFiles/util_result_test.dir/util/result_test.cc.o.d"
+  "util_result_test"
+  "util_result_test.pdb"
+  "util_result_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_result_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

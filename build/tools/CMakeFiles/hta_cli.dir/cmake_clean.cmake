@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hta_cli.dir/hta_cli.cc.o"
+  "CMakeFiles/hta_cli.dir/hta_cli.cc.o.d"
+  "hta"
+  "hta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hta_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
