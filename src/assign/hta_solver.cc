@@ -5,34 +5,20 @@
 
 #include "matching/lsap.h"
 #include "matching/max_weight_matching.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace hta {
 
 namespace {
 
-/// Builds the edge list of the task-diversity graph B (real tasks only;
-/// padding vertices have zero weight to everything and can never enter
-/// a maximum-weight matching built from positive edges).
-std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d) {
-  const size_t n = d.task_count();
-  std::vector<WeightedEdge> edges;
-  if (n >= 2) edges.reserve(n * (n - 1) / 2);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      const float w = static_cast<float>(
-          d(static_cast<TaskIndex>(i), static_cast<TaskIndex>(j)));
-      if (w > 0.0f) {
-        edges.push_back(
-            WeightedEdge{static_cast<VertexId>(i), static_cast<VertexId>(j), w});
-      }
-    }
-  }
-  return edges;
-}
+/// Rows per shard when building the diversity edge list in parallel.
+constexpr size_t kEdgeRowGrain = 16;
 
 /// The auxiliary LSAP profit f_{k,l} = bM(t_k) * degA_l + c_{k,l}
-/// (Algorithm 1, Line 10), evaluated on the fly.
+/// (Algorithm 1, Line 10), evaluated on the fly. O(1) space — this is
+/// the right profit oracle for the greedy LSAP, which touches each
+/// entry once.
 class AuxiliaryProfit {
  public:
   AuxiliaryProfit(const QapView* view, const std::vector<double>* bm)
@@ -45,6 +31,55 @@ class AuxiliaryProfit {
  private:
   const QapView* view_;
   const std::vector<double>* bm_;
+};
+
+/// The same profit backed by precomputed per-worker tables. Both
+/// degA_l and c_{k,l} depend on the column l only through the worker
+/// clique q = l / Xmax, so an n x |W| relevance-profit table plus a
+/// |W| degree table replace the per-call Relevance() evaluation that
+/// the O(n^3) JV solver would otherwise repeat on every one of its
+/// O(n^3) profit probes. Table construction is row-parallel; entries
+/// are computed with exactly the arithmetic of QapView::C / DegA, so
+/// profits (and hence the LSAP result) are bit-identical to the
+/// on-the-fly oracle's.
+class TabulatedAuxiliaryProfit {
+ public:
+  TabulatedAuxiliaryProfit(const QapView& view, const std::vector<double>* bm,
+                           size_t max_threads)
+      : bm_(bm),
+        xmax_(view.problem().xmax()),
+        task_count_(view.task_count()),
+        worker_count_(view.problem().worker_count()) {
+    deg_a_.resize(worker_count_);
+    for (size_t q = 0; q < worker_count_; ++q) {
+      deg_a_[q] = view.DegA(q * xmax_);
+    }
+    c_table_.resize(task_count_ * worker_count_);
+    ParallelFor(
+        0, task_count_, /*grain=*/64,
+        [&](size_t k) {
+          for (size_t q = 0; q < worker_count_; ++q) {
+            c_table_[k * worker_count_ + q] = view.C(k, q * xmax_);
+          }
+        },
+        max_threads);
+  }
+
+  double operator()(size_t k, size_t l) const {
+    const size_t q = l / xmax_;
+    if (q >= worker_count_) return 0.0;  // Isolated column: degA = c = 0.
+    const double c =
+        k < task_count_ ? c_table_[k * worker_count_ + q] : 0.0;
+    return (*bm_)[k] * deg_a_[q] + c;
+  }
+
+ private:
+  std::vector<double> deg_a_;   // degA on worker q's columns.
+  std::vector<double> c_table_; // c_{k,l} for l in worker q's clique.
+  const std::vector<double>* bm_;
+  size_t xmax_;
+  size_t task_count_;
+  size_t worker_count_;
 };
 
 /// Tracks clique membership during the best-of-two swap pass so that
@@ -110,6 +145,52 @@ double SwapDelta(const QapView& view, const CliqueMembership& cliques,
 
 }  // namespace
 
+std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
+                                              size_t max_threads) {
+  const size_t n = d.task_count();
+  if (n < 2) return {};
+  // Padding vertices have zero weight to everything and can never
+  // enter a maximum-weight matching built from positive edges, so only
+  // real task pairs are scanned. Each fixed block of kEdgeRowGrain
+  // rows fills its own shard (reserved at the block's exact pair
+  // count); shards concatenate in block order, reproducing the serial
+  // row-major edge order bit-for-bit at any thread count.
+  const size_t num_blocks = parallel_internal::BlockCount(0, n, kEdgeRowGrain);
+  std::vector<std::vector<WeightedEdge>> shards(num_blocks);
+  ParallelFor(
+      0, num_blocks, /*grain=*/1,
+      [&](size_t block) {
+        const parallel_internal::BlockRange rows =
+            parallel_internal::BlockAt(0, n, kEdgeRowGrain, block);
+        // Rows [b, e) hold sum_{i=b}^{e-1} (n - 1 - i) pairs.
+        const size_t span = rows.end - rows.begin;
+        const size_t pairs = span * (n - 1) -
+                             (rows.end * (rows.end - 1) / 2 -
+                              rows.begin * (rows.begin - 1) / 2);
+        std::vector<WeightedEdge>& shard = shards[block];
+        shard.reserve(pairs);
+        for (size_t i = rows.begin; i < rows.end; ++i) {
+          for (size_t j = i + 1; j < n; ++j) {
+            const float w = static_cast<float>(
+                d(static_cast<TaskIndex>(i), static_cast<TaskIndex>(j)));
+            if (w > 0.0f) {
+              shard.push_back(WeightedEdge{static_cast<VertexId>(i),
+                                           static_cast<VertexId>(j), w});
+            }
+          }
+        }
+      },
+      max_threads);
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
+  std::vector<WeightedEdge> edges;
+  edges.reserve(total);
+  for (const auto& shard : shards) {
+    edges.insert(edges.end(), shard.begin(), shard.end());
+  }
+  return edges;
+}
+
 Assignment ExtractAssignment(const QapView& view,
                              const std::vector<int32_t>& perm) {
   HTA_CHECK_EQ(perm.size(), view.n());
@@ -133,7 +214,8 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
 
   // Phase 1 (Line 2): maximum-weight matching M_B over task diversity.
   WallTimer phase_timer;
-  std::vector<WeightedEdge> edges = BuildDiversityEdges(problem.oracle());
+  std::vector<WeightedEdge> edges =
+      BuildDiversityEdges(problem.oracle(), options.threads);
   GraphMatching mb;
   switch (options.matching) {
     case MatchingMethod::kGreedy:
@@ -156,20 +238,26 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
     bm[v] = w;
   }
 
-  // Lines 9-11: the auxiliary LSAP.
+  // Lines 9-11: the auxiliary LSAP. The exact solvers probe the same
+  // profit entries many times, so they get the tabulated oracle (built
+  // row-parallel); the greedy solver scans each entry once and keeps
+  // the O(1)-space on-the-fly oracle.
   phase_timer.Restart();
-  const AuxiliaryProfit profit(&view, &bm);
   LsapSolution lsap;
   switch (options.lsap) {
-    case LsapMethod::kExactJv:
+    case LsapMethod::kExactJv: {
+      const TabulatedAuxiliaryProfit profit(view, &bm, options.threads);
       lsap = SolveLsapJv(n, profit);
       break;
+    }
     case LsapMethod::kGreedy: {
+      const AuxiliaryProfit profit(&view, &bm);
       const std::vector<size_t> worker_cols = view.WorkerColumns();
       lsap = SolveLsapGreedy(n, profit, &worker_cols);
       break;
     }
     case LsapMethod::kExactStructured: {
+      const TabulatedAuxiliaryProfit profit(view, &bm, options.threads);
       const std::vector<size_t> worker_cols = view.WorkerColumns();
       lsap = SolveLsapStructured(n, profit, worker_cols);
       break;
@@ -215,7 +303,7 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
   // Lines 17-18 (Eq. 7): back to per-worker bundles.
   HtaSolveResult result;
   result.assignment = ExtractAssignment(view, perm);
-  stats.qap_objective = view.Objective(perm);
+  stats.qap_objective = view.Objective(perm, options.threads);
   stats.motivation = TotalMotivation(problem, result.assignment);
   stats.certified_ratio = stats.optimum_upper_bound > 0.0
                               ? stats.qap_objective /

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "util/parallel.h"
+
 namespace hta {
 
 TaskDistanceOracle::TaskDistanceOracle(const std::vector<Task>* tasks,
@@ -11,8 +13,8 @@ TaskDistanceOracle::TaskDistanceOracle(const std::vector<Task>* tasks,
 }
 
 Result<TaskDistanceOracle> TaskDistanceOracle::Precomputed(
-    const std::vector<Task>* tasks, DistanceKind kind,
-    size_t max_cache_bytes) {
+    const std::vector<Task>* tasks, DistanceKind kind, size_t max_cache_bytes,
+    size_t max_threads) {
   HTA_CHECK(tasks != nullptr);
   const size_t n = tasks->size();
   const size_t pairs = n * (n - 1) / 2;
@@ -24,13 +26,23 @@ Result<TaskDistanceOracle> TaskDistanceOracle::Precomputed(
   }
   TaskDistanceOracle oracle(tasks, kind);
   oracle.cache_.resize(pairs);
-  size_t at = 0;
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      oracle.cache_[at++] = static_cast<float>(
-          PairwiseTaskDiversity(kind, (*tasks)[i], (*tasks)[j]));
-    }
-  }
+  float* cache = oracle.cache_.data();
+  // Row i owns the disjoint cache segment [i*n - i*(i+1)/2, +n-1-i),
+  // so row blocks write without overlap and the fill is bit-identical
+  // for any thread count. Small row grain keeps the (shrinking) rows
+  // of the triangle balanced across blocks.
+  ParallelFor(
+      0, n, /*grain=*/16,
+      [&](size_t row_begin, size_t row_end) {
+        for (size_t i = row_begin; i < row_end; ++i) {
+          size_t at = i * n - i * (i + 1) / 2;
+          for (size_t j = i + 1; j < n; ++j) {
+            cache[at++] = static_cast<float>(
+                PairwiseTaskDiversity(kind, (*tasks)[i], (*tasks)[j]));
+          }
+        }
+      },
+      max_threads);
   return oracle;
 }
 

@@ -28,10 +28,14 @@ class TaskDistanceOracle {
   TaskDistanceOracle(const std::vector<Task>* tasks, DistanceKind kind);
 
   /// Builds a precomputed oracle. Fails with ResourceExhausted if the
-  /// triangular cache would exceed `max_cache_bytes`.
+  /// triangular cache would exceed `max_cache_bytes`. The O(|T|^2)
+  /// fill runs on the global thread pool, parallelized over row
+  /// blocks; `max_threads` caps the threads used (0 = pool size, 1 =
+  /// serial). Every row writes a disjoint cache segment, so the cache
+  /// is bit-identical for any thread count.
   static Result<TaskDistanceOracle> Precomputed(
       const std::vector<Task>* tasks, DistanceKind kind,
-      size_t max_cache_bytes = size_t{4} << 30);
+      size_t max_cache_bytes = size_t{4} << 30, size_t max_threads = 0);
 
   /// Builds an oracle from an explicit dense row-major |T| x |T|
   /// distance matrix instead of computing distances from keywords. The

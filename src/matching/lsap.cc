@@ -16,12 +16,15 @@ LsapSolution SolveLsapHungarian(size_t n, const std::vector<double>& profit) {
   std::vector<double> v(n + 1, 0.0);
   std::vector<size_t> p(n + 1, 0);    // p[j] = row matched to column j.
   std::vector<size_t> way(n + 1, 0);  // Alternating-path parents.
+  // Scratch for the augmenting search, reset (not reallocated) per row.
+  std::vector<double> minv(n + 1);
+  std::vector<bool> used(n + 1);
 
   for (size_t i = 1; i <= n; ++i) {
     p[0] = i;
     size_t j0 = 0;
-    std::vector<double> minv(n + 1, kInf);
-    std::vector<bool> used(n + 1, false);
+    std::fill(minv.begin(), minv.end(), kInf);
+    std::fill(used.begin(), used.end(), false);
     do {
       used[j0] = true;
       const size_t i0 = p[j0];

@@ -99,8 +99,14 @@ class QapView {
 
   /// The MAXQAP objective of a permutation pi (task k -> vertex pi(k)):
   ///   sum_{k != l} a_{pi(k),pi(l)} b_{k,l} + sum_k c_{k,pi(k)}
-  /// Computed per worker clique in O(|W| * Xmax^2 + n).
-  double Objective(const std::vector<int32_t>& perm) const;
+  /// Computed per worker clique in O(|W| * Xmax^2 + n). The linear
+  /// term and the per-clique quadratic terms are evaluated as blocked
+  /// parallel reductions on the global pool (`max_threads` caps the
+  /// threads used; 0 = pool size, 1 = serial); block partials combine
+  /// in fixed block order, so the value is bit-identical for any
+  /// thread count.
+  double Objective(const std::vector<int32_t>& perm,
+                   size_t max_threads = 0) const;
 
   const HtaProblem& problem() const { return *problem_; }
 
@@ -117,7 +123,11 @@ struct DenseQapMatrices {
   std::vector<double> b;
   std::vector<double> c;
 
-  static DenseQapMatrices FromView(const QapView& view);
+  /// Materializes A, B, C from the implicit view, row-parallel on the
+  /// global pool (rows write disjoint slices; bit-identical for any
+  /// thread count).
+  static DenseQapMatrices FromView(const QapView& view,
+                                   size_t max_threads = 0);
 
   /// Objective of a permutation evaluated from the dense matrices;
   /// cross-checked against QapView::Objective in tests.

@@ -20,6 +20,13 @@ int64_t GetEnvIntOr(const std::string& name, int64_t fallback) {
   return parsed;
 }
 
+int GetHtaThreads() {
+  const int64_t raw = GetEnvIntOr("HTA_THREADS", 0);
+  if (raw <= 0) return 0;
+  if (raw > kMaxHtaThreads) return kMaxHtaThreads;
+  return static_cast<int>(raw);
+}
+
 BenchScale GetBenchScale() {
   std::string raw = GetEnvOr("HTA_BENCH_SCALE", "default");
   for (char& ch : raw) ch = static_cast<char>(std::tolower(ch));

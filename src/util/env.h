@@ -32,6 +32,16 @@ std::string GetEnvOr(const std::string& name, const std::string& fallback);
 /// unparsable.
 int64_t GetEnvIntOr(const std::string& name, int64_t fallback);
 
+/// Reads HTA_THREADS, the requested size of the global compute thread
+/// pool (see util/parallel.h). Returns 0 ("auto": use the hardware
+/// concurrency) when the variable is unset, unparsable, or
+/// non-positive; otherwise the value clamped to kMaxHtaThreads.
+/// HTA_THREADS=1 forces fully serial execution.
+int GetHtaThreads();
+
+/// Upper bound on an explicit HTA_THREADS request.
+inline constexpr int kMaxHtaThreads = 256;
+
 }  // namespace hta
 
 #endif  // HTA_UTIL_ENV_H_

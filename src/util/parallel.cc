@@ -1,0 +1,150 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <exception>
+
+#include "util/env.h"
+
+namespace hta {
+
+namespace {
+
+/// True while the current thread is executing a pool block; nested
+/// Run calls then execute inline instead of re-entering the pool.
+thread_local bool tls_in_pool_block = false;
+
+}  // namespace
+
+/// One blocked job: a shared claim counter plus drain bookkeeping.
+/// Lives on the Run caller's stack; `active` (guarded by the pool's
+/// mu_) keeps it alive until every participating worker has left.
+struct ThreadPool::Job {
+  const std::function<void(size_t)>* fn = nullptr;
+  size_t num_blocks = 0;
+  size_t max_participants = 0;        // Caller + workers allowed in.
+  std::atomic<size_t> joined{1};      // Caller counts as a participant.
+  std::atomic<size_t> next{0};        // Next unclaimed block.
+  std::atomic<size_t> done{0};        // Blocks finished (or skipped).
+  std::atomic<bool> failed{false};
+  std::mutex error_mu;
+  std::exception_ptr error;           // First exception, under error_mu.
+  size_t active = 0;                  // Workers inside; guarded by mu_.
+};
+
+ThreadPool::ThreadPool(size_t threads) {
+  if (threads <= 1) return;
+  workers_.reserve(threads - 1);
+  for (size_t i = 0; i + 1 < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = [] {
+    size_t threads = static_cast<size_t>(GetHtaThreads());
+    if (threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = hw == 0 ? 1 : hw;
+    }
+    return new ThreadPool(threads);
+  }();
+  return *pool;
+}
+
+void ThreadPool::ProcessBlocks(Job& job) {
+  for (;;) {
+    const size_t block = job.next.fetch_add(1);
+    if (block >= job.num_blocks) return;
+    if (!job.failed.load()) {
+      try {
+        (*job.fn)(block);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.error_mu);
+        if (!job.failed.load()) {
+          job.error = std::current_exception();
+          job.failed.store(true);
+        }
+      }
+    }
+    job.done.fetch_add(1);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t last_seq = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || (job_ != nullptr && job_seq_ != last_seq);
+      });
+      if (shutdown_) return;
+      last_seq = job_seq_;
+      job = job_;
+      // Respect the job's thread cap: join only if a slot is free.
+      if (job->joined.fetch_add(1) >= job->max_participants) {
+        job->joined.fetch_sub(1);
+        continue;
+      }
+      ++job->active;
+    }
+    tls_in_pool_block = true;
+    ProcessBlocks(*job);
+    tls_in_pool_block = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job->active;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::Run(size_t num_blocks,
+                     const std::function<void(size_t)>& block_fn,
+                     size_t max_threads) {
+  if (num_blocks == 0) return;
+  size_t budget = thread_count();
+  if (max_threads != 0 && max_threads < budget) budget = max_threads;
+  if (budget <= 1 || num_blocks == 1 || tls_in_pool_block) {
+    // Serial path: same fixed blocks, ascending order, same thread.
+    for (size_t block = 0; block < num_blocks; ++block) block_fn(block);
+    return;
+  }
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  Job job;
+  job.fn = &block_fn;
+  job.num_blocks = num_blocks;
+  job.max_participants = budget;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  tls_in_pool_block = true;
+  ProcessBlocks(job);
+  tls_in_pool_block = false;
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job.done.load() >= job.num_blocks && job.active == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace hta

@@ -12,6 +12,7 @@ class EnvTest : public ::testing::Test {
   void TearDown() override {
     unsetenv("HTA_BENCH_SCALE");
     unsetenv("HTA_TEST_VAR");
+    unsetenv("HTA_THREADS");
   }
 };
 
@@ -45,6 +46,32 @@ TEST_F(EnvTest, GetEnvIntRejectsGarbage) {
 TEST_F(EnvTest, GetEnvIntNegative) {
   setenv("HTA_TEST_VAR", "-5", 1);
   EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), -5);
+}
+
+TEST_F(EnvTest, HtaThreadsDefaultsToAuto) {
+  unsetenv("HTA_THREADS");
+  EXPECT_EQ(GetHtaThreads(), 0);
+}
+
+TEST_F(EnvTest, HtaThreadsParsesPositiveValues) {
+  setenv("HTA_THREADS", "1", 1);
+  EXPECT_EQ(GetHtaThreads(), 1);
+  setenv("HTA_THREADS", "8", 1);
+  EXPECT_EQ(GetHtaThreads(), 8);
+}
+
+TEST_F(EnvTest, HtaThreadsRejectsNonPositiveAndGarbage) {
+  setenv("HTA_THREADS", "0", 1);
+  EXPECT_EQ(GetHtaThreads(), 0);
+  setenv("HTA_THREADS", "-3", 1);
+  EXPECT_EQ(GetHtaThreads(), 0);
+  setenv("HTA_THREADS", "lots", 1);
+  EXPECT_EQ(GetHtaThreads(), 0);
+}
+
+TEST_F(EnvTest, HtaThreadsClampsToMax) {
+  setenv("HTA_THREADS", "100000", 1);
+  EXPECT_EQ(GetHtaThreads(), kMaxHtaThreads);
 }
 
 TEST_F(EnvTest, BenchScaleDefault) {
