@@ -1,7 +1,11 @@
 #ifndef HTA_BENCH_BENCH_COMMON_H_
 #define HTA_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/catalog.h"
@@ -49,6 +53,47 @@ inline void PrintBanner(const char* title, const char* paper_ref) {
             << "reproduces: " << paper_ref << "\n"
             << "scale: " << BenchScaleName(GetBenchScale())
             << "  (set HTA_BENCH_SCALE=smoke|default|paper)\n\n";
+}
+
+/// JSON fragment for a numeric param value.
+inline std::string JsonNum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// JSON fragment for a string param value (quoted and escaped).
+inline std::string JsonStr(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Appends one machine-readable record to the file named by
+/// HTA_BENCH_JSON (JSON Lines; one object per line):
+///   {"bench": ..., "scale": ..., "params": {...}, "seconds": ...}
+/// No-op when the variable is unset. Param values are raw JSON
+/// fragments — build them with JsonNum / JsonStr.
+inline void AppendBenchJson(
+    const std::string& bench,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    double seconds) {
+  const std::string path = GetEnvOr("HTA_BENCH_JSON", "");
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::app);
+  HTA_CHECK(out.good()) << "cannot open HTA_BENCH_JSON file: " << path;
+  out << "{\"bench\": " << JsonStr(bench)
+      << ", \"scale\": " << JsonStr(BenchScaleName(GetBenchScale()))
+      << ", \"params\": {";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << JsonStr(params[i].first) << ": " << params[i].second;
+  }
+  out << "}, \"seconds\": " << JsonNum(seconds) << "}\n";
 }
 
 }  // namespace hta::bench

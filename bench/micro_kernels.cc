@@ -1,8 +1,12 @@
 // A5 — Micro-benchmarks (google-benchmark): the hot kernels under the
 // HTA pipeline — distance computation, set-diversity evaluation, greedy
-// matching, and the LSAP solvers at small n.
+// matching, the LSAP solvers at small n, and the local-search delta
+// evaluators (incremental tables vs the naive reference).
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "assign/local_search.h"
 #include "core/motivation.h"
 #include "matching/lsap.h"
 #include "matching/max_weight_matching.h"
@@ -113,6 +117,130 @@ void BM_LsapStructured(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LsapStructured)->Arg(100)->Arg(200)->Arg(400);
+
+/// Fixture for the delta-evaluation kernels: a 256-task catalog, 8
+/// workers, and an assignment whose bundles hold `bundle_size` tasks
+/// each; the remaining tasks are probe candidates.
+struct DeltaFixture {
+  Catalog catalog;
+  std::vector<Worker> workers;
+  std::unique_ptr<HtaProblem> problem;
+  Assignment assignment;
+
+  explicit DeltaFixture(size_t bundle_size) : catalog(MakeCatalog(256)) {
+    Rng rng(11);
+    for (WorkerIndex q = 0; q < 8; ++q) {
+      const double alpha = 0.2 + 0.6 * rng.NextDouble();
+      workers.emplace_back(q, catalog.tasks[q * 3].keywords(),
+                           MotivationWeights{alpha, 1.0 - alpha});
+    }
+    auto p = HtaProblem::Create(&catalog.tasks, &workers, bundle_size);
+    HTA_CHECK(p.ok()) << p.status();
+    problem = std::make_unique<HtaProblem>(std::move(*p));
+    assignment.bundles.assign(workers.size(), {});
+    TaskIndex next = 0;
+    for (TaskBundle& bundle : assignment.bundles) {
+      for (size_t i = 0; i < bundle_size; ++i) bundle.push_back(next++);
+    }
+  }
+};
+
+void BM_ReplaceDeltaIncremental(benchmark::State& state) {
+  DeltaFixture f(static_cast<size_t>(state.range(0)));
+  const BundleStatsCache cache(*f.problem, &f.assignment);
+  const size_t first_free = f.workers.size() * state.range(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const TaskIndex in = static_cast<TaskIndex>(
+        first_free + (i * 7) % (f.catalog.size() - first_free));
+    benchmark::DoNotOptimize(
+        cache.ReplaceDelta(static_cast<WorkerIndex>(i % f.workers.size()),
+                           i % static_cast<size_t>(state.range(0)), in));
+    ++i;
+  }
+}
+BENCHMARK(BM_ReplaceDeltaIncremental)->Arg(5)->Arg(20);
+
+void BM_ReplaceDeltaNaive(benchmark::State& state) {
+  DeltaFixture f(static_cast<size_t>(state.range(0)));
+  const size_t first_free = f.workers.size() * state.range(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const WorkerIndex q = static_cast<WorkerIndex>(i % f.workers.size());
+    const TaskIndex in = static_cast<TaskIndex>(
+        first_free + (i * 7) % (f.catalog.size() - first_free));
+    benchmark::DoNotOptimize(
+        NaiveReplaceDelta(*f.problem, f.assignment.bundles[q],
+                          i % static_cast<size_t>(state.range(0)), in, q));
+    ++i;
+  }
+}
+BENCHMARK(BM_ReplaceDeltaNaive)->Arg(5)->Arg(20);
+
+void BM_InsertDeltaIncremental(benchmark::State& state) {
+  DeltaFixture f(static_cast<size_t>(state.range(0)));
+  const BundleStatsCache cache(*f.problem, &f.assignment);
+  const size_t first_free = f.workers.size() * state.range(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const TaskIndex in = static_cast<TaskIndex>(
+        first_free + (i * 7) % (f.catalog.size() - first_free));
+    benchmark::DoNotOptimize(cache.InsertDelta(
+        static_cast<WorkerIndex>(i % f.workers.size()), in));
+    ++i;
+  }
+}
+BENCHMARK(BM_InsertDeltaIncremental)->Arg(5)->Arg(20);
+
+void BM_InsertDeltaNaive(benchmark::State& state) {
+  DeltaFixture f(static_cast<size_t>(state.range(0)));
+  const size_t first_free = f.workers.size() * state.range(0);
+  size_t i = 0;
+  for (auto _ : state) {
+    const WorkerIndex q = static_cast<WorkerIndex>(i % f.workers.size());
+    const TaskIndex in = static_cast<TaskIndex>(
+        first_free + (i * 7) % (f.catalog.size() - first_free));
+    benchmark::DoNotOptimize(
+        NaiveInsertDelta(*f.problem, f.assignment.bundles[q], in, q));
+    ++i;
+  }
+}
+BENCHMARK(BM_InsertDeltaNaive)->Arg(5)->Arg(20);
+
+void BM_ExchangeDeltaIncremental(benchmark::State& state) {
+  DeltaFixture f(static_cast<size_t>(state.range(0)));
+  const BundleStatsCache cache(*f.problem, &f.assignment);
+  const size_t bundle_size = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    const WorkerIndex q1 = static_cast<WorkerIndex>(i % (f.workers.size() - 1));
+    benchmark::DoNotOptimize(
+        cache.ExchangeDelta(q1, i % bundle_size,
+                            static_cast<WorkerIndex>(q1 + 1),
+                            (i * 3 + 1) % bundle_size));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExchangeDeltaIncremental)->Arg(5)->Arg(20);
+
+void BM_ExchangeDeltaNaive(benchmark::State& state) {
+  DeltaFixture f(static_cast<size_t>(state.range(0)));
+  const size_t bundle_size = static_cast<size_t>(state.range(0));
+  size_t i = 0;
+  for (auto _ : state) {
+    const WorkerIndex q1 = static_cast<WorkerIndex>(i % (f.workers.size() - 1));
+    const WorkerIndex q2 = static_cast<WorkerIndex>(q1 + 1);
+    const size_t p1 = i % bundle_size;
+    const size_t p2 = (i * 3 + 1) % bundle_size;
+    const TaskBundle& b1 = f.assignment.bundles[q1];
+    const TaskBundle& b2 = f.assignment.bundles[q2];
+    benchmark::DoNotOptimize(
+        NaiveReplaceDelta(*f.problem, b1, p1, b2[p2], q1) +
+        NaiveReplaceDelta(*f.problem, b2, p2, b1[p1], q2));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExchangeDeltaNaive)->Arg(5)->Arg(20);
 
 void BM_MotivationEval(benchmark::State& state) {
   const Catalog catalog = MakeCatalog(256);

@@ -12,9 +12,6 @@ namespace hta {
 
 namespace {
 
-/// Rows per shard when building the diversity edge list in parallel.
-constexpr size_t kEdgeRowGrain = 16;
-
 /// The auxiliary LSAP profit f_{k,l} = bM(t_k) * degA_l + c_{k,l}
 /// (Algorithm 1, Line 10), evaluated on the fly. O(1) space — this is
 /// the right profit oracle for the greedy LSAP, which touches each
@@ -145,52 +142,6 @@ double SwapDelta(const QapView& view, const CliqueMembership& cliques,
 
 }  // namespace
 
-std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
-                                              size_t max_threads) {
-  const size_t n = d.task_count();
-  if (n < 2) return {};
-  // Padding vertices have zero weight to everything and can never
-  // enter a maximum-weight matching built from positive edges, so only
-  // real task pairs are scanned. Each fixed block of kEdgeRowGrain
-  // rows fills its own shard (reserved at the block's exact pair
-  // count); shards concatenate in block order, reproducing the serial
-  // row-major edge order bit-for-bit at any thread count.
-  const size_t num_blocks = parallel_internal::BlockCount(0, n, kEdgeRowGrain);
-  std::vector<std::vector<WeightedEdge>> shards(num_blocks);
-  ParallelFor(
-      0, num_blocks, /*grain=*/1,
-      [&](size_t block) {
-        const parallel_internal::BlockRange rows =
-            parallel_internal::BlockAt(0, n, kEdgeRowGrain, block);
-        // Rows [b, e) hold sum_{i=b}^{e-1} (n - 1 - i) pairs.
-        const size_t span = rows.end - rows.begin;
-        const size_t pairs = span * (n - 1) -
-                             (rows.end * (rows.end - 1) / 2 -
-                              rows.begin * (rows.begin - 1) / 2);
-        std::vector<WeightedEdge>& shard = shards[block];
-        shard.reserve(pairs);
-        for (size_t i = rows.begin; i < rows.end; ++i) {
-          for (size_t j = i + 1; j < n; ++j) {
-            const float w = static_cast<float>(
-                d(static_cast<TaskIndex>(i), static_cast<TaskIndex>(j)));
-            if (w > 0.0f) {
-              shard.push_back(WeightedEdge{static_cast<VertexId>(i),
-                                           static_cast<VertexId>(j), w});
-            }
-          }
-        }
-      },
-      max_threads);
-  size_t total = 0;
-  for (const auto& shard : shards) total += shard.size();
-  std::vector<WeightedEdge> edges;
-  edges.reserve(total);
-  for (const auto& shard : shards) {
-    edges.insert(edges.end(), shard.begin(), shard.end());
-  }
-  return edges;
-}
-
 Assignment ExtractAssignment(const QapView& view,
                              const std::vector<int32_t>& perm) {
   HTA_CHECK_EQ(perm.size(), view.n());
@@ -219,7 +170,7 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
   GraphMatching mb;
   switch (options.matching) {
     case MatchingMethod::kGreedy:
-      mb = GreedyMaxWeightMatching(n, std::move(edges));
+      mb = GreedyMaxWeightMatching(n, std::move(edges), options.threads);
       break;
     case MatchingMethod::kPathGrowing:
       mb = PathGrowingMatching(n, edges);

@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "assign/assignment.h"
-#include "matching/matching_types.h"
+#include "matching/max_weight_matching.h"
 #include "qap/qap_view.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -103,17 +103,6 @@ Result<HtaSolveResult> SolveHtaGre(const HtaProblem& problem,
 /// example.
 Assignment ExtractAssignment(const QapView& view,
                              const std::vector<int32_t>& perm);
-
-/// Builds the edge list of the task-diversity graph B (real tasks
-/// only; positive-weight pairs, row-major order). Row blocks are
-/// scanned in parallel into per-block shards sized from the exact
-/// per-block pair counts and concatenated in block order, so the
-/// returned list is bit-identical to a serial row-major scan for any
-/// thread count. `max_threads` caps the threads used (0 = pool size,
-/// 1 = serial). Exposed for the equivalence tests and the threading
-/// bench.
-std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
-                                              size_t max_threads = 0);
 
 /// Human-readable algorithm label for tables ("hta-app", "hta-gre", ...).
 std::string SolverName(const HtaSolverOptions& options);

@@ -1,15 +1,348 @@
 #include "assign/local_search.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "util/parallel.h"
 
 namespace hta {
 
 namespace {
 
-/// Objective change from replacing bundle member `out` (at position
-/// `pos`) with task `in`, holding bundle size fixed.
-double ReplaceDelta(const HtaProblem& problem, const TaskBundle& bundle,
-                    size_t pos, TaskIndex in, WorkerIndex worker) {
+/// Strict improvement threshold shared by every scan mode.
+constexpr double kImprovementEps = 1e-12;
+
+/// Relative margin for argmax scans: a later candidate only displaces
+/// the incumbent when its delta is better by this margin. Exact-
+/// arithmetic ties between candidates (common with rational Jaccard /
+/// Dice distances) can round to FP values that differ by a few ulps
+/// between the incremental tables and a from-scratch evaluation; the
+/// margin makes both evaluators resolve such ties to the same (lowest)
+/// scan index, so the incremental search reproduces the naive
+/// reference move-for-move.
+constexpr double kTieRelTolerance = 1e-9;
+
+/// Tolerant "strictly better" used by every best-candidate selection.
+inline bool StrictlyBetter(double delta, double best) {
+  const double scale = std::max({1.0, std::fabs(delta), std::fabs(best)});
+  return delta > best + kTieRelTolerance * scale;
+}
+
+/// Sentinel candidate index for "no improving candidate found".
+constexpr size_t kNoCandidate = static_cast<size_t>(-1);
+
+/// Unassigned candidates per fixed block of a deterministic scan.
+constexpr size_t kCandidateGrain = 128;
+
+/// Partner workers per fixed block of a deterministic exchange scan.
+constexpr size_t kWorkerScanGrain = 2;
+
+/// Tasks per fixed block of the incremental div_sum table updates.
+constexpr size_t kTableGrain = 256;
+
+/// Best replace/insert candidate of one scan row (delta, candidate
+/// position in the unassigned list). Folding with StrictlyBetter in
+/// ascending block order keeps the lowest index on (near-)ties.
+struct BestCandidate {
+  double delta = kImprovementEps;
+  size_t index = kNoCandidate;
+};
+
+/// Best exchange partner of one scan row.
+struct BestExchange {
+  double delta = kImprovementEps;
+  WorkerIndex q2 = 0;
+  size_t p2 = kNoCandidate;
+};
+
+/// Move evaluator backed by the retained naive reference deltas: every
+/// probe recomputes from the bundles, so Apply* only mutate the
+/// assignment. Interface-compatible with BundleStatsCache for the
+/// templated scan drivers.
+class NaiveEvaluator {
+ public:
+  NaiveEvaluator(const HtaProblem* problem, Assignment* assignment)
+      : problem_(problem), assignment_(assignment) {}
+
+  double ReplaceDelta(WorkerIndex worker, size_t pos, TaskIndex in) const {
+    return NaiveReplaceDelta(*problem_, assignment_->bundles[worker], pos, in,
+                             worker);
+  }
+
+  double ExchangeDelta(WorkerIndex q1, size_t p1, WorkerIndex q2,
+                       size_t p2) const {
+    const TaskBundle& b1 = assignment_->bundles[q1];
+    const TaskBundle& b2 = assignment_->bundles[q2];
+    return NaiveReplaceDelta(*problem_, b1, p1, b2[p2], q1) +
+           NaiveReplaceDelta(*problem_, b2, p2, b1[p1], q2);
+  }
+
+  double InsertDelta(WorkerIndex worker, TaskIndex in) const {
+    return NaiveInsertDelta(*problem_, assignment_->bundles[worker], in,
+                            worker);
+  }
+
+  void ApplyReplace(WorkerIndex worker, size_t pos, TaskIndex in) {
+    assignment_->bundles[worker][pos] = in;
+  }
+
+  void ApplyInsert(WorkerIndex worker, TaskIndex in) {
+    assignment_->bundles[worker].push_back(in);
+  }
+
+ private:
+  const HtaProblem* problem_;
+  Assignment* assignment_;
+};
+
+/// Legacy first-improvement replace scan: apply every improving
+/// candidate immediately and keep scanning from the mutated state.
+template <typename Eval>
+bool ReplacePassLegacy(const HtaProblem& problem, Assignment* assignment,
+                       std::vector<TaskIndex>* unassigned, Eval* eval,
+                       LocalSearchResult* result) {
+  bool improved = false;
+  const size_t worker_count = problem.worker_count();
+  for (WorkerIndex q = 0; q < worker_count; ++q) {
+    TaskBundle& bundle = assignment->bundles[q];
+    for (size_t pos = 0; pos < bundle.size(); ++pos) {
+      for (size_t u = 0; u < unassigned->size(); ++u) {
+        const double delta = eval->ReplaceDelta(q, pos, (*unassigned)[u]);
+        if (delta > kImprovementEps) {
+          const TaskIndex out = bundle[pos];
+          eval->ApplyReplace(q, pos, (*unassigned)[u]);
+          (*unassigned)[u] = out;
+          ++result->improving_moves;
+          improved = true;
+        }
+      }
+    }
+  }
+  return improved;
+}
+
+/// Deterministic replace scan: probe all candidates for one slot
+/// concurrently, apply the best improving one, move to the next slot.
+template <typename Eval>
+bool ReplacePassBest(const HtaProblem& problem,
+                     const LocalSearchOptions& options, Assignment* assignment,
+                     std::vector<TaskIndex>* unassigned, Eval* eval,
+                     LocalSearchResult* result) {
+  if (unassigned->empty()) return false;
+  bool improved = false;
+  const size_t worker_count = problem.worker_count();
+  for (WorkerIndex q = 0; q < worker_count; ++q) {
+    TaskBundle& bundle = assignment->bundles[q];
+    for (size_t pos = 0; pos < bundle.size(); ++pos) {
+      const BestCandidate best = ParallelReduce<BestCandidate>(
+          0, unassigned->size(), kCandidateGrain, BestCandidate{},
+          [&](size_t begin, size_t end) {
+            BestCandidate local;
+            for (size_t u = begin; u < end; ++u) {
+              const double delta = eval->ReplaceDelta(q, pos, (*unassigned)[u]);
+              if (StrictlyBetter(delta, local.delta)) {
+                local = BestCandidate{delta, u};
+              }
+            }
+            return local;
+          },
+          [](BestCandidate acc, BestCandidate partial) {
+            return StrictlyBetter(partial.delta, acc.delta) ? partial : acc;
+          },
+          options.threads);
+      if (best.index == kNoCandidate) continue;
+      const TaskIndex out = bundle[pos];
+      eval->ApplyReplace(q, pos, (*unassigned)[best.index]);
+      (*unassigned)[best.index] = out;
+      ++result->improving_moves;
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+/// Legacy first-improvement exchange scan.
+template <typename Eval>
+bool ExchangePassLegacy(const HtaProblem& problem, Assignment* assignment,
+                        Eval* eval, LocalSearchResult* result) {
+  bool improved = false;
+  const size_t worker_count = problem.worker_count();
+  for (WorkerIndex q1 = 0; q1 < worker_count; ++q1) {
+    for (WorkerIndex q2 = static_cast<WorkerIndex>(q1 + 1); q2 < worker_count;
+         ++q2) {
+      TaskBundle& b1 = assignment->bundles[q1];
+      TaskBundle& b2 = assignment->bundles[q2];
+      for (size_t p1 = 0; p1 < b1.size(); ++p1) {
+        for (size_t p2 = 0; p2 < b2.size(); ++p2) {
+          const double delta = eval->ExchangeDelta(q1, p1, q2, p2);
+          if (delta > kImprovementEps) {
+            const TaskIndex t1 = b1[p1];
+            const TaskIndex t2 = b2[p2];
+            eval->ApplyReplace(q1, p1, t2);
+            eval->ApplyReplace(q2, p2, t1);
+            ++result->improving_moves;
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+  return improved;
+}
+
+/// Deterministic exchange scan: for each source slot, probe every
+/// partner slot of every later worker concurrently and apply the best
+/// improving swap.
+template <typename Eval>
+bool ExchangePassBest(const HtaProblem& problem,
+                      const LocalSearchOptions& options, Assignment* assignment,
+                      Eval* eval, LocalSearchResult* result) {
+  bool improved = false;
+  const size_t worker_count = problem.worker_count();
+  for (WorkerIndex q1 = 0; q1 + 1 < worker_count; ++q1) {
+    TaskBundle& b1 = assignment->bundles[q1];
+    for (size_t p1 = 0; p1 < b1.size(); ++p1) {
+      const BestExchange best = ParallelReduce<BestExchange>(
+          q1 + 1, worker_count, kWorkerScanGrain, BestExchange{},
+          [&](size_t begin, size_t end) {
+            BestExchange local;
+            for (size_t q2 = begin; q2 < end; ++q2) {
+              const size_t b2_size = assignment->bundles[q2].size();
+              for (size_t p2 = 0; p2 < b2_size; ++p2) {
+                const double delta = eval->ExchangeDelta(
+                    q1, p1, static_cast<WorkerIndex>(q2), p2);
+                if (StrictlyBetter(delta, local.delta)) {
+                  local =
+                      BestExchange{delta, static_cast<WorkerIndex>(q2), p2};
+                }
+              }
+            }
+            return local;
+          },
+          [](BestExchange acc, BestExchange partial) {
+            return StrictlyBetter(partial.delta, acc.delta) ? partial : acc;
+          },
+          options.threads);
+      if (best.p2 == kNoCandidate) continue;
+      TaskBundle& b2 = assignment->bundles[best.q2];
+      const TaskIndex t1 = b1[p1];
+      const TaskIndex t2 = b2[best.p2];
+      eval->ApplyReplace(q1, p1, t2);
+      eval->ApplyReplace(best.q2, best.p2, t1);
+      ++result->improving_moves;
+      improved = true;
+    }
+  }
+  return improved;
+}
+
+/// Insert scan. Selection is identical in both scan modes (greedy
+/// best-candidate with lowest-index ties, exactly the legacy argmax);
+/// the deterministic mode merely probes candidates concurrently.
+/// With non-negative diversity and relevance an insert never hurts
+/// (delta >= 0), so spare capacity is always filled; only strictly
+/// positive deltas count as improving moves.
+template <typename Eval>
+bool InsertPass(const HtaProblem& problem, const LocalSearchOptions& options,
+                Assignment* assignment, std::vector<TaskIndex>* unassigned,
+                Eval* eval, LocalSearchResult* result) {
+  const bool parallel_scan =
+      options.scan == LocalSearchScan::kDeterministicBest;
+  bool improved = false;
+  const size_t worker_count = problem.worker_count();
+  for (WorkerIndex q = 0; q < worker_count; ++q) {
+    TaskBundle& bundle = assignment->bundles[q];
+    while (bundle.size() < problem.xmax() && !unassigned->empty()) {
+      double best_delta = -1.0;
+      size_t best_u = kNoCandidate;
+      if (parallel_scan) {
+        struct InsertBest {
+          double delta = -1.0;
+          size_t index = kNoCandidate;
+        };
+        const InsertBest best = ParallelReduce<InsertBest>(
+            0, unassigned->size(), kCandidateGrain, InsertBest{},
+            [&](size_t begin, size_t end) {
+              InsertBest local;
+              for (size_t u = begin; u < end; ++u) {
+                const double delta = eval->InsertDelta(q, (*unassigned)[u]);
+                if (StrictlyBetter(delta, local.delta)) {
+                  local = InsertBest{delta, u};
+                }
+              }
+              return local;
+            },
+            [](InsertBest acc, InsertBest partial) {
+              return StrictlyBetter(partial.delta, acc.delta) ? partial : acc;
+            },
+            options.threads);
+        best_delta = best.delta;
+        best_u = best.index;
+      } else {
+        for (size_t u = 0; u < unassigned->size(); ++u) {
+          const double delta = eval->InsertDelta(q, (*unassigned)[u]);
+          if (StrictlyBetter(delta, best_delta)) {
+            best_delta = delta;
+            best_u = u;
+          }
+        }
+      }
+      if (best_u == kNoCandidate || best_delta < 0.0) break;
+      eval->ApplyInsert(q, (*unassigned)[best_u]);
+      (*unassigned)[best_u] = unassigned->back();
+      unassigned->pop_back();
+      if (best_delta > kImprovementEps) {
+        ++result->improving_moves;
+        improved = true;
+      }
+    }
+  }
+  return improved;
+}
+
+/// The pass loop shared by both evaluators and both scan modes.
+template <typename Eval>
+void RunPasses(const HtaProblem& problem, const LocalSearchOptions& options,
+               Assignment* assignment, std::vector<TaskIndex>* unassigned,
+               Eval* eval, LocalSearchResult* result) {
+  const bool deterministic =
+      options.scan == LocalSearchScan::kDeterministicBest;
+  for (result->passes = 0; result->passes < options.max_passes;
+       ++result->passes) {
+    bool improved_this_pass = false;
+    if (options.enable_replace) {
+      const bool improved =
+          deterministic
+              ? ReplacePassBest(problem, options, assignment, unassigned, eval,
+                                result)
+              : ReplacePassLegacy(problem, assignment, unassigned, eval,
+                                  result);
+      improved_this_pass = improved || improved_this_pass;
+    }
+    if (options.enable_exchange) {
+      const bool improved =
+          deterministic
+              ? ExchangePassBest(problem, options, assignment, eval, result)
+              : ExchangePassLegacy(problem, assignment, eval, result);
+      improved_this_pass = improved || improved_this_pass;
+    }
+    if (options.enable_insert) {
+      const bool improved =
+          InsertPass(problem, options, assignment, unassigned, eval, result);
+      improved_this_pass = improved || improved_this_pass;
+    }
+    if (!improved_this_pass) {
+      result->reached_local_optimum = true;
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+double NaiveReplaceDelta(const HtaProblem& problem, const TaskBundle& bundle,
+                         size_t pos, TaskIndex in, WorkerIndex worker) {
   const TaskIndex out = bundle[pos];
   const Worker& w = problem.workers()[worker];
   const TaskDistanceOracle& d = problem.oracle();
@@ -25,11 +358,8 @@ double ReplaceDelta(const HtaProblem& problem, const TaskBundle& bundle,
          w.weights().beta * size_minus_one * relevance_delta;
 }
 
-/// Objective change from appending `in` to the bundle (size grows, so
-/// the (|T'| - 1) relevance normalizer changes for every member:
-/// recompute the bundle's motivation directly).
-double InsertDelta(const HtaProblem& problem, const TaskBundle& bundle,
-                   TaskIndex in, WorkerIndex worker) {
+double NaiveInsertDelta(const HtaProblem& problem, const TaskBundle& bundle,
+                        TaskIndex in, WorkerIndex worker) {
   const Worker& w = problem.workers()[worker];
   const double before = Motivation(bundle, w, problem.oracle());
   TaskBundle grown = bundle;
@@ -38,7 +368,122 @@ double InsertDelta(const HtaProblem& problem, const TaskBundle& bundle,
   return after - before;
 }
 
-}  // namespace
+BundleStatsCache::BundleStatsCache(const HtaProblem& problem,
+                                   Assignment* assignment, size_t max_threads)
+    : problem_(&problem),
+      assignment_(assignment),
+      max_threads_(max_threads),
+      task_count_(problem.task_count()),
+      worker_count_(problem.worker_count()) {
+  const TaskDistanceOracle& d = problem.oracle();
+  rel_.resize(task_count_ * worker_count_);
+  ParallelFor(
+      0, task_count_, /*grain=*/16,
+      [&](size_t t) {
+        for (size_t q = 0; q < worker_count_; ++q) {
+          rel_[t * worker_count_ + q] =
+              problem.Relevance(static_cast<TaskIndex>(t),
+                                static_cast<WorkerIndex>(q));
+        }
+      },
+      max_threads_);
+  div_sum_.assign(worker_count_ * task_count_, 0.0);
+  bundle_div_.assign(worker_count_, 0.0);
+  bundle_rel_.assign(worker_count_, 0.0);
+  for (size_t q = 0; q < worker_count_; ++q) {
+    const TaskBundle& bundle = assignment_->bundles[q];
+    ParallelFor(
+        0, task_count_, kTableGrain,
+        [&](size_t t) {
+          double sum = 0.0;
+          for (TaskIndex m : bundle) sum += d(static_cast<TaskIndex>(t), m);
+          div_sum_[q * task_count_ + t] = sum;
+        },
+        max_threads_);
+    bundle_div_[q] = SetDiversity(bundle, d);
+    double rel_sum = 0.0;
+    for (TaskIndex m : bundle) {
+      rel_sum += rel_[static_cast<size_t>(m) * worker_count_ + q];
+    }
+    bundle_rel_[q] = rel_sum;
+  }
+}
+
+double BundleStatsCache::ReplaceDelta(WorkerIndex worker, size_t pos,
+                                      TaskIndex in) const {
+  const TaskBundle& bundle = assignment_->bundles[worker];
+  HTA_DCHECK_LT(pos, bundle.size());
+  const TaskIndex out = bundle[pos];
+  const MotivationWeights& w = problem_->workers()[worker].weights();
+  const double* row = div_sum_.data() + static_cast<size_t>(worker) *
+                                            task_count_;
+  // Σ_{m != pos} d(in, m) = div_sum[in] - d(in, out);
+  // Σ_{m != pos} d(out, m) = div_sum[out]  (d(out, out) = 0).
+  const double diversity_delta =
+      (row[in] - problem_->oracle()(in, out)) - row[out];
+  const double relevance_delta =
+      rel_[static_cast<size_t>(in) * worker_count_ + worker] -
+      rel_[static_cast<size_t>(out) * worker_count_ + worker];
+  const double size_minus_one = static_cast<double>(bundle.size()) - 1.0;
+  return 2.0 * w.alpha * diversity_delta +
+         w.beta * size_minus_one * relevance_delta;
+}
+
+double BundleStatsCache::ExchangeDelta(WorkerIndex q1, size_t p1,
+                                       WorkerIndex q2, size_t p2) const {
+  const TaskBundle& b1 = assignment_->bundles[q1];
+  const TaskBundle& b2 = assignment_->bundles[q2];
+  return ReplaceDelta(q1, p1, b2[p2]) + ReplaceDelta(q2, p2, b1[p1]);
+}
+
+double BundleStatsCache::InsertDelta(WorkerIndex worker, TaskIndex in) const {
+  const TaskBundle& bundle = assignment_->bundles[worker];
+  const MotivationWeights& w = problem_->workers()[worker].weights();
+  const double diversity_gain =
+      div_sum_[static_cast<size_t>(worker) * task_count_ + in];
+  const double rel_in = rel_[static_cast<size_t>(in) * worker_count_ + worker];
+  // after - before simplifies to a subtraction-free form — with
+  // non-negative distances and relevance the delta is >= 0 even in
+  // floating point, so inserts can never appear to hurt:
+  //   2α·Σ_m d(in, m) + β·(TR(T') + |T'|·rel(in)).
+  return 2.0 * w.alpha * diversity_gain +
+         w.beta * (bundle_rel_[worker] +
+                   static_cast<double>(bundle.size()) * rel_in);
+}
+
+void BundleStatsCache::ApplyReplace(WorkerIndex worker, size_t pos,
+                                    TaskIndex in) {
+  TaskBundle& bundle = assignment_->bundles[worker];
+  HTA_DCHECK_LT(pos, bundle.size());
+  const TaskIndex out = bundle[pos];
+  const TaskDistanceOracle& d = problem_->oracle();
+  double* row = div_sum_.data() + static_cast<size_t>(worker) * task_count_;
+  bundle_div_[worker] += (row[in] - d(in, out)) - row[out];
+  bundle_rel_[worker] +=
+      rel_[static_cast<size_t>(in) * worker_count_ + worker] -
+      rel_[static_cast<size_t>(out) * worker_count_ + worker];
+  ParallelFor(
+      0, task_count_, kTableGrain,
+      [&](size_t t) {
+        row[t] += d(static_cast<TaskIndex>(t), in) -
+                  d(static_cast<TaskIndex>(t), out);
+      },
+      max_threads_);
+  bundle[pos] = in;
+}
+
+void BundleStatsCache::ApplyInsert(WorkerIndex worker, TaskIndex in) {
+  TaskBundle& bundle = assignment_->bundles[worker];
+  const TaskDistanceOracle& d = problem_->oracle();
+  double* row = div_sum_.data() + static_cast<size_t>(worker) * task_count_;
+  bundle_div_[worker] += row[in];
+  bundle_rel_[worker] += rel_[static_cast<size_t>(in) * worker_count_ + worker];
+  ParallelFor(
+      0, task_count_, kTableGrain,
+      [&](size_t t) { row[t] += d(static_cast<TaskIndex>(t), in); },
+      max_threads_);
+  bundle.push_back(in);
+}
 
 Result<LocalSearchResult> ImproveAssignment(
     const HtaProblem& problem, const Assignment& initial,
@@ -58,85 +503,14 @@ Result<LocalSearchResult> ImproveAssignment(
     if (!assigned[t]) unassigned.push_back(static_cast<TaskIndex>(t));
   }
 
-  const size_t worker_count = problem.worker_count();
-  for (result.passes = 0; result.passes < options.max_passes;
-       ++result.passes) {
-    bool improved_this_pass = false;
-
-    // Replace: assigned <-> unassigned, per worker.
-    if (options.enable_replace) {
-      for (WorkerIndex q = 0; q < worker_count; ++q) {
-        TaskBundle& bundle = result.assignment.bundles[q];
-        for (size_t pos = 0; pos < bundle.size(); ++pos) {
-          for (size_t u = 0; u < unassigned.size(); ++u) {
-            const double delta =
-                ReplaceDelta(problem, bundle, pos, unassigned[u], q);
-            if (delta > 1e-12) {
-              std::swap(bundle[pos], unassigned[u]);
-              ++result.improving_moves;
-              improved_this_pass = true;
-            }
-          }
-        }
-      }
-    }
-
-    // Exchange: swap members between two bundles.
-    if (options.enable_exchange) {
-      for (WorkerIndex q1 = 0; q1 < worker_count; ++q1) {
-        for (WorkerIndex q2 = static_cast<WorkerIndex>(q1 + 1);
-             q2 < worker_count; ++q2) {
-          TaskBundle& b1 = result.assignment.bundles[q1];
-          TaskBundle& b2 = result.assignment.bundles[q2];
-          for (size_t p1 = 0; p1 < b1.size(); ++p1) {
-            for (size_t p2 = 0; p2 < b2.size(); ++p2) {
-              const double delta =
-                  ReplaceDelta(problem, b1, p1, b2[p2], q1) +
-                  ReplaceDelta(problem, b2, p2, b1[p1], q2);
-              if (delta > 1e-12) {
-                std::swap(b1[p1], b2[p2]);
-                ++result.improving_moves;
-                improved_this_pass = true;
-              }
-            }
-          }
-        }
-      }
-    }
-
-    // Insert: grow under-capacity bundles from the unassigned pool.
-    // With non-negative diversity and relevance an insert never hurts
-    // (delta >= 0), so spare capacity is always filled; only strictly
-    // positive deltas count as improving moves.
-    if (options.enable_insert) {
-      for (WorkerIndex q = 0; q < worker_count; ++q) {
-        TaskBundle& bundle = result.assignment.bundles[q];
-        while (bundle.size() < problem.xmax() && !unassigned.empty()) {
-          double best_delta = -1.0;
-          size_t best_u = unassigned.size();
-          for (size_t u = 0; u < unassigned.size(); ++u) {
-            const double delta = InsertDelta(problem, bundle, unassigned[u], q);
-            if (delta > best_delta) {
-              best_delta = delta;
-              best_u = u;
-            }
-          }
-          if (best_u == unassigned.size() || best_delta < 0.0) break;
-          bundle.push_back(unassigned[best_u]);
-          unassigned[best_u] = unassigned.back();
-          unassigned.pop_back();
-          if (best_delta > 1e-12) {
-            ++result.improving_moves;
-            improved_this_pass = true;
-          }
-        }
-      }
-    }
-
-    if (!improved_this_pass) {
-      result.reached_local_optimum = true;
-      break;
-    }
+  if (options.evaluation == LocalSearchEval::kIncremental) {
+    BundleStatsCache cache(problem, &result.assignment, options.threads);
+    RunPasses(problem, options, &result.assignment, &unassigned, &cache,
+              &result);
+  } else {
+    NaiveEvaluator eval(&problem, &result.assignment);
+    RunPasses(problem, options, &result.assignment, &unassigned, &eval,
+              &result);
   }
 
   result.motivation = TotalMotivation(problem, result.assignment);

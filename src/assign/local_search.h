@@ -1,6 +1,8 @@
 #ifndef HTA_ASSIGN_LOCAL_SEARCH_H_
 #define HTA_ASSIGN_LOCAL_SEARCH_H_
 
+#include <vector>
+
 #include "assign/assignment.h"
 #include "util/result.h"
 
@@ -19,13 +21,48 @@ namespace hta {
 ///  * exchange — swap two tasks between two workers' bundles;
 ///  * insert   — append an unassigned task to a bundle with spare
 ///               capacity.
+
+/// How each pass scans the move neighborhood.
+enum class LocalSearchScan {
+  /// Deterministic parallel scan (the default): for every bundle slot,
+  /// all candidates are probed concurrently on the global thread pool
+  /// and the *best* improving candidate is applied (ties broken by
+  /// lowest candidate index, folded in ascending fixed-block order per
+  /// util/parallel.h), then the scan advances to the next slot. The
+  /// selected moves — and therefore the final assignment — are
+  /// bit-identical for every HTA_THREADS setting and every `threads`
+  /// cap.
+  kDeterministicBest,
+  /// The pre-incremental serial semantics: first-improvement, applying
+  /// every improving candidate immediately as the nested loops reach
+  /// it and continuing the scan from the mutated state. Single
+  /// threaded by construction; retained as the reference behavior.
+  kLegacySerial,
+};
+
+/// Which move evaluator computes objective deltas.
+enum class LocalSearchEval {
+  /// O(1) deltas from incrementally maintained bundle statistics
+  /// (see BundleStatsCache). The default.
+  kIncremental,
+  /// The retained naive reference: O(Xmax) replace/exchange deltas and
+  /// O(Xmax²) insert deltas recomputed from scratch per probe. Only
+  /// useful to equivalence tests and benches.
+  kNaiveReference,
+};
+
 struct LocalSearchOptions {
-  /// Full passes over the neighborhood before giving up (each pass is
-  /// first-improvement, deterministic order).
+  /// Full passes over the neighborhood before giving up.
   size_t max_passes = 8;
   bool enable_replace = true;
   bool enable_exchange = true;
   bool enable_insert = true;
+  LocalSearchScan scan = LocalSearchScan::kDeterministicBest;
+  LocalSearchEval evaluation = LocalSearchEval::kIncremental;
+  /// Caps the threads drawn from the global pool by the deterministic
+  /// scan and the incremental-table updates (0 = whole pool, 1 =
+  /// serial). Any value produces bit-identical results.
+  size_t threads = 0;
 };
 
 struct LocalSearchResult {
@@ -42,6 +79,86 @@ struct LocalSearchResult {
 Result<LocalSearchResult> ImproveAssignment(const HtaProblem& problem,
                                             const Assignment& initial,
                                             const LocalSearchOptions& options);
+
+/// Incremental per-bundle statistics that make every local-search move
+/// evaluation O(1) instead of O(Xmax)–O(Xmax²):
+///
+///  * div_sum[q][t] — Σ_{m ∈ bundle(q)} d(t, m) for *every* candidate
+///    task t, so a replace/insert diversity delta is two table reads
+///    plus at most one oracle call;
+///  * the bundle's internal diversity and relevance sums, so an insert
+///    delta needs no Motivation() evaluation at all;
+///  * a dense rel[t][q] relevance cache, so no probe ever recomputes a
+///    task–worker distance.
+///
+/// Tables are built once in O(|T|·|W|·Xmax) and updated in O(|T|) per
+/// *applied* move (probes leave them untouched). The cache mutates the
+/// externally owned assignment through ApplyReplace/ApplyInsert; all
+/// bundle mutations must flow through those methods or the tables go
+/// stale. Delta probes are pure reads and safe to issue concurrently;
+/// Apply* must be called from one thread at a time.
+class BundleStatsCache {
+ public:
+  /// Builds tables for `assignment` (not owned; must outlive the
+  /// cache). `max_threads` caps the pool threads used by construction
+  /// and by Apply* table updates; every value yields bit-identical
+  /// tables.
+  BundleStatsCache(const HtaProblem& problem, Assignment* assignment,
+                   size_t max_threads = 0);
+
+  /// Objective change from replacing `worker`'s bundle member at `pos`
+  /// with task `in` (which must not currently be in that bundle).
+  double ReplaceDelta(WorkerIndex worker, size_t pos, TaskIndex in) const;
+
+  /// Objective change from swapping bundles[q1][p1] with
+  /// bundles[q2][p2] (q1 != q2).
+  double ExchangeDelta(WorkerIndex q1, size_t p1, WorkerIndex q2,
+                       size_t p2) const;
+
+  /// Objective change from appending `in` (not currently in any
+  /// position of `worker`'s bundle) to `worker`'s bundle.
+  double InsertDelta(WorkerIndex worker, TaskIndex in) const;
+
+  /// Applies the move to the assignment and updates all tables in
+  /// O(|T|).
+  void ApplyReplace(WorkerIndex worker, size_t pos, TaskIndex in);
+  void ApplyInsert(WorkerIndex worker, TaskIndex in);
+
+  /// Table accessors (exposed for tests).
+  double DiversityToBundle(WorkerIndex worker, TaskIndex t) const {
+    return div_sum_[static_cast<size_t>(worker) * task_count_ + t];
+  }
+  double BundleDiversity(WorkerIndex worker) const {
+    return bundle_div_[worker];
+  }
+  double BundleRelevance(WorkerIndex worker) const {
+    return bundle_rel_[worker];
+  }
+  double Relevance(TaskIndex t, WorkerIndex worker) const {
+    return rel_[static_cast<size_t>(t) * worker_count_ + worker];
+  }
+
+ private:
+  const HtaProblem* problem_;
+  Assignment* assignment_;
+  size_t max_threads_;
+  size_t task_count_;
+  size_t worker_count_;
+  std::vector<double> rel_;         // [t * |W| + q] = rel(t, q).
+  std::vector<double> div_sum_;     // [q * |T| + t] = Σ_m d(t, m).
+  std::vector<double> bundle_div_;  // [q] = Σ pairs d within bundle q.
+  std::vector<double> bundle_rel_;  // [q] = Σ members rel(m, q).
+};
+
+/// The naive reference evaluators the incremental tables replace —
+/// retained verbatim so equivalence tests and the delta-kernel benches
+/// can compare against them. O(|bundle|) work per call.
+double NaiveReplaceDelta(const HtaProblem& problem, const TaskBundle& bundle,
+                         size_t pos, TaskIndex in, WorkerIndex worker);
+
+/// O(|bundle|²) — two full Motivation() evaluations plus a bundle copy.
+double NaiveInsertDelta(const HtaProblem& problem, const TaskBundle& bundle,
+                        TaskIndex in, WorkerIndex worker);
 
 }  // namespace hta
 

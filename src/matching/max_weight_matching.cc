@@ -3,10 +3,14 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/parallel.h"
 
 namespace hta {
 
 namespace {
+
+/// Rows per shard when building the diversity edge list in parallel.
+constexpr size_t kEdgeRowGrain = 16;
 
 bool EdgeHeavier(const WeightedEdge& a, const WeightedEdge& b) {
   if (a.weight != b.weight) return a.weight > b.weight;
@@ -30,9 +34,13 @@ void AddMatchedEdge(GraphMatching* m, VertexId u, VertexId v, double w) {
 }  // namespace
 
 GraphMatching GreedyMaxWeightMatching(size_t vertex_count,
-                                      std::vector<WeightedEdge> edges) {
+                                      std::vector<WeightedEdge> edges,
+                                      size_t max_threads) {
   GraphMatching m = MakeEmptyMatching(vertex_count);
-  std::sort(edges.begin(), edges.end(), EdgeHeavier);
+  // EdgeHeavier is a strict total order on distinct edges, so the
+  // stable parallel sort reproduces the historical std::sort sequence
+  // exactly (equal elements are bitwise-identical structs).
+  ParallelStableSort(&edges, EdgeHeavier, max_threads);
   for (const WeightedEdge& e : edges) {
     HTA_DCHECK_LT(static_cast<size_t>(e.u), vertex_count);
     HTA_DCHECK_LT(static_cast<size_t>(e.v), vertex_count);
@@ -45,19 +53,57 @@ GraphMatching GreedyMaxWeightMatching(size_t vertex_count,
   return m;
 }
 
-GraphMatching GreedyMatchingOnTaskGraph(const TaskDistanceOracle& oracle) {
-  const size_t n = oracle.task_count();
+std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
+                                              size_t max_threads) {
+  const size_t n = d.task_count();
+  if (n < 2) return {};
+  // Padding vertices have zero weight to everything and can never
+  // enter a maximum-weight matching built from positive edges, so only
+  // real task pairs are scanned. Each fixed block of kEdgeRowGrain
+  // rows fills its own shard (reserved at the block's exact pair
+  // count); shards concatenate in block order, reproducing the serial
+  // row-major edge order bit-for-bit at any thread count.
+  const size_t num_blocks = parallel_internal::BlockCount(0, n, kEdgeRowGrain);
+  std::vector<std::vector<WeightedEdge>> shards(num_blocks);
+  ParallelFor(
+      0, num_blocks, /*grain=*/1,
+      [&](size_t block) {
+        const parallel_internal::BlockRange rows =
+            parallel_internal::BlockAt(0, n, kEdgeRowGrain, block);
+        // Rows [b, e) hold sum_{i=b}^{e-1} (n - 1 - i) pairs.
+        const size_t span = rows.end - rows.begin;
+        const size_t pairs = span * (n - 1) -
+                             (rows.end * (rows.end - 1) / 2 -
+                              rows.begin * (rows.begin - 1) / 2);
+        std::vector<WeightedEdge>& shard = shards[block];
+        shard.reserve(pairs);
+        for (size_t i = rows.begin; i < rows.end; ++i) {
+          for (size_t j = i + 1; j < n; ++j) {
+            const float w = static_cast<float>(
+                d(static_cast<TaskIndex>(i), static_cast<TaskIndex>(j)));
+            if (w > 0.0f) {
+              shard.push_back(WeightedEdge{static_cast<VertexId>(i),
+                                           static_cast<VertexId>(j), w});
+            }
+          }
+        }
+      },
+      max_threads);
+  size_t total = 0;
+  for (const auto& shard : shards) total += shard.size();
   std::vector<WeightedEdge> edges;
-  if (n >= 2) edges.reserve(n * (n - 1) / 2);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t j = i + 1; j < n; ++j) {
-      edges.push_back(WeightedEdge{
-          static_cast<VertexId>(i), static_cast<VertexId>(j),
-          static_cast<float>(
-              oracle(static_cast<TaskIndex>(i), static_cast<TaskIndex>(j)))});
-    }
+  edges.reserve(total);
+  for (const auto& shard : shards) {
+    edges.insert(edges.end(), shard.begin(), shard.end());
   }
-  return GreedyMaxWeightMatching(n, std::move(edges));
+  return edges;
+}
+
+GraphMatching GreedyMatchingOnTaskGraph(const TaskDistanceOracle& oracle,
+                                        size_t max_threads) {
+  return GreedyMaxWeightMatching(oracle.task_count(),
+                                 BuildDiversityEdges(oracle, max_threads),
+                                 max_threads);
 }
 
 GraphMatching PathGrowingMatching(size_t vertex_count,
