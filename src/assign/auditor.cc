@@ -1,0 +1,80 @@
+#include "assign/auditor.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/env.h"
+
+namespace hta {
+
+namespace {
+
+/// Sentinel for "task not yet seen in any bundle".
+constexpr size_t kUnassigned = static_cast<size_t>(-1);
+
+}  // namespace
+
+Status AssignmentAuditor::CheckStructure(const Assignment& assignment) const {
+  const HtaProblem& problem = *problem_;
+  if (assignment.bundles.size() != problem.worker_count()) {
+    return Status::InvalidArgument(
+        "audit: assignment has " + std::to_string(assignment.bundles.size()) +
+        " bundles for " + std::to_string(problem.worker_count()) + " workers");
+  }
+  std::vector<size_t> holder(problem.task_count(), kUnassigned);
+  for (size_t q = 0; q < assignment.bundles.size(); ++q) {
+    const TaskBundle& bundle = assignment.bundles[q];
+    if (bundle.size() > problem.xmax()) {
+      return Status::FailedPrecondition(
+          "audit: C1 violated: worker " + std::to_string(q) + " holds " +
+          std::to_string(bundle.size()) + " tasks > Xmax " +
+          std::to_string(problem.xmax()));
+    }
+    for (TaskIndex t : bundle) {
+      if (static_cast<size_t>(t) >= problem.task_count()) {
+        return Status::OutOfRange(
+            "audit: bundle of worker " + std::to_string(q) +
+            " contains invalid task index " + std::to_string(t) + " (|T| = " +
+            std::to_string(problem.task_count()) + ")");
+      }
+      if (holder[t] != kUnassigned) {
+        return Status::FailedPrecondition(
+            "audit: C2 violated: task " + std::to_string(t) +
+            " assigned to worker " + std::to_string(holder[t]) +
+            " and worker " + std::to_string(q));
+      }
+      holder[t] = q;
+    }
+  }
+  return Status::OK();
+}
+
+Status AssignmentAuditor::CheckObjective(const Assignment& assignment,
+                                         double claimed_objective) const {
+  const double recomputed = TotalMotivation(*problem_, assignment);
+  const double tolerance =
+      kObjectiveTolerance * std::max(1.0, std::fabs(recomputed));
+  // Negated <= so a NaN claim (or recompute) also fails the audit.
+  if (!(std::fabs(claimed_objective - recomputed) <= tolerance)) {
+    return Status::Internal(
+        "audit: incremental objective " + std::to_string(claimed_objective) +
+        " diverges from from-scratch recompute " + std::to_string(recomputed) +
+        " by " + std::to_string(claimed_objective - recomputed) +
+        " (tolerance " + std::to_string(tolerance) + ")");
+  }
+  return Status::OK();
+}
+
+Status AssignmentAuditor::Audit(const Assignment& assignment,
+                                double claimed_objective) const {
+  HTA_RETURN_IF_ERROR(CheckStructure(assignment));
+  return CheckObjective(assignment, claimed_objective);
+}
+
+bool AuditEnabled() {
+  static const bool enabled = GetEnvIntOr("HTA_AUDIT", 0) != 0;
+  return enabled;
+}
+
+}  // namespace hta

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "assign/auditor.h"
 #include "matching/lsap.h"
 #include "matching/max_weight_matching.h"
 #include "util/parallel.h"
@@ -264,6 +265,10 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
   result.stats = stats;
 
   HTA_DCHECK(ValidateAssignment(problem, result.assignment).ok());
+  if (AuditEnabled()) {
+    HTA_RETURN_IF_ERROR(
+        AssignmentAuditor(problem).Audit(result.assignment, stats.motivation));
+  }
   return result;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstddef>
 
+#include "assign/auditor.h"
 #include "util/parallel.h"
 
 namespace hta {
@@ -91,6 +92,13 @@ class NaiveEvaluator {
     assignment_->bundles[worker].push_back(in);
   }
 
+  /// The naive evaluator has no incremental tables; its "cached"
+  /// objective is the from-scratch recompute, so the per-pass audit
+  /// degenerates to checking the applied-delta accumulator.
+  double CachedTotalMotivation() const {
+    return TotalMotivation(*problem_, *assignment_);
+  }
+
  private:
   const HtaProblem* problem_;
   Assignment* assignment_;
@@ -113,6 +121,7 @@ bool ReplacePassLegacy(const HtaProblem& problem, Assignment* assignment,
           const TaskIndex out = bundle[pos];
           eval->ApplyReplace(q, pos, (*unassigned)[u]);
           (*unassigned)[u] = out;
+          result->applied_delta += delta;
           ++result->improving_moves;
           improved = true;
         }
@@ -155,6 +164,7 @@ bool ReplacePassBest(const HtaProblem& problem,
       const TaskIndex out = bundle[pos];
       eval->ApplyReplace(q, pos, (*unassigned)[best.index]);
       (*unassigned)[best.index] = out;
+      result->applied_delta += best.delta;
       ++result->improving_moves;
       improved = true;
     }
@@ -181,6 +191,7 @@ bool ExchangePassLegacy(const HtaProblem& problem, Assignment* assignment,
             const TaskIndex t2 = b2[p2];
             eval->ApplyReplace(q1, p1, t2);
             eval->ApplyReplace(q2, p2, t1);
+            result->applied_delta += delta;
             ++result->improving_moves;
             improved = true;
           }
@@ -230,6 +241,7 @@ bool ExchangePassBest(const HtaProblem& problem,
       const TaskIndex t2 = b2[best.p2];
       eval->ApplyReplace(q1, p1, t2);
       eval->ApplyReplace(best.q2, best.p2, t1);
+      result->applied_delta += best.delta;
       ++result->improving_moves;
       improved = true;
     }
@@ -292,6 +304,7 @@ bool InsertPass(const HtaProblem& problem, const LocalSearchOptions& options,
       eval->ApplyInsert(q, (*unassigned)[best_u]);
       (*unassigned)[best_u] = unassigned->back();
       unassigned->pop_back();
+      result->applied_delta += best_delta;
       if (best_delta > kImprovementEps) {
         ++result->improving_moves;
         improved = true;
@@ -301,11 +314,16 @@ bool InsertPass(const HtaProblem& problem, const LocalSearchOptions& options,
   return improved;
 }
 
-/// The pass loop shared by both evaluators and both scan modes.
+/// The pass loop shared by both evaluators and both scan modes. With
+/// `auditor` non-null, every completed pass is validated: structure
+/// (C1/C2, index bounds) plus two independent objective claims — the
+/// applied-delta accumulator and the evaluator's cached sums — against
+/// the from-scratch Eq. 3 recompute.
 template <typename Eval>
-void RunPasses(const HtaProblem& problem, const LocalSearchOptions& options,
-               Assignment* assignment, std::vector<TaskIndex>* unassigned,
-               Eval* eval, LocalSearchResult* result) {
+Status RunPasses(const HtaProblem& problem, const LocalSearchOptions& options,
+                 Assignment* assignment, std::vector<TaskIndex>* unassigned,
+                 Eval* eval, const AssignmentAuditor* auditor,
+                 LocalSearchResult* result) {
   const bool deterministic =
       options.scan == LocalSearchScan::kDeterministicBest;
   for (result->passes = 0; result->passes < options.max_passes;
@@ -332,11 +350,18 @@ void RunPasses(const HtaProblem& problem, const LocalSearchOptions& options,
           InsertPass(problem, options, assignment, unassigned, eval, result);
       improved_this_pass = improved || improved_this_pass;
     }
+    if (auditor != nullptr) {
+      HTA_RETURN_IF_ERROR(auditor->Audit(
+          *assignment, result->initial_motivation + result->applied_delta));
+      HTA_RETURN_IF_ERROR(auditor->CheckObjective(
+          *assignment, eval->CachedTotalMotivation()));
+    }
     if (!improved_this_pass) {
       result->reached_local_optimum = true;
       break;
     }
   }
+  return Status::OK();
 }
 
 }  // namespace
@@ -472,6 +497,18 @@ void BundleStatsCache::ApplyReplace(WorkerIndex worker, size_t pos,
   bundle[pos] = in;
 }
 
+double BundleStatsCache::CachedTotalMotivation() const {
+  double total = 0.0;
+  for (size_t q = 0; q < worker_count_; ++q) {
+    const MotivationWeights& w = problem_->workers()[q].weights();
+    const double size =
+        static_cast<double>(assignment_->bundles[q].size());
+    total += 2.0 * w.alpha * bundle_div_[q] +
+             w.beta * (size - 1.0) * bundle_rel_[q];
+  }
+  return total;
+}
+
 void BundleStatsCache::ApplyInsert(WorkerIndex worker, TaskIndex in) {
   TaskBundle& bundle = assignment_->bundles[worker];
   const TaskDistanceOracle& d = problem_->oracle();
@@ -503,14 +540,16 @@ Result<LocalSearchResult> ImproveAssignment(
     if (!assigned[t]) unassigned.push_back(static_cast<TaskIndex>(t));
   }
 
+  const AssignmentAuditor auditor(problem);
+  const AssignmentAuditor* audit = AuditEnabled() ? &auditor : nullptr;
   if (options.evaluation == LocalSearchEval::kIncremental) {
     BundleStatsCache cache(problem, &result.assignment, options.threads);
-    RunPasses(problem, options, &result.assignment, &unassigned, &cache,
-              &result);
+    HTA_RETURN_IF_ERROR(RunPasses(problem, options, &result.assignment,
+                                  &unassigned, &cache, audit, &result));
   } else {
     NaiveEvaluator eval(&problem, &result.assignment);
-    RunPasses(problem, options, &result.assignment, &unassigned, &eval,
-              &result);
+    HTA_RETURN_IF_ERROR(RunPasses(problem, options, &result.assignment,
+                                  &unassigned, &eval, audit, &result));
   }
 
   result.motivation = TotalMotivation(problem, result.assignment);

@@ -69,6 +69,12 @@ struct LocalSearchResult {
   Assignment assignment;
   double motivation = 0.0;       ///< Eq. 3 objective after refinement.
   double initial_motivation = 0.0;
+  /// Sum of the evaluator-reported deltas of every applied move, so
+  /// initial_motivation + applied_delta is the incrementally tracked
+  /// objective. With HTA_AUDIT=1 the AssignmentAuditor asserts it
+  /// against a from-scratch recompute after every pass — the
+  /// stale-delta detector for the incremental tables.
+  double applied_delta = 0.0;
   size_t improving_moves = 0;
   size_t passes = 0;             ///< Passes actually executed.
   bool reached_local_optimum = false;
@@ -123,6 +129,12 @@ class BundleStatsCache {
   /// O(|T|).
   void ApplyReplace(WorkerIndex worker, size_t pos, TaskIndex in);
   void ApplyInsert(WorkerIndex worker, TaskIndex in);
+
+  /// The Eq. 3 objective derived purely from the maintained per-bundle
+  /// sums: Σ_q 2·α_q·bundle_div_[q] + β_q·(|T_q|-1)·bundle_rel_[q].
+  /// Audited against the from-scratch recompute (HTA_AUDIT=1), which
+  /// makes stale bundle_div_/bundle_rel_ maintenance observable.
+  double CachedTotalMotivation() const;
 
   /// Table accessors (exposed for tests).
   double DiversityToBundle(WorkerIndex worker, TaskIndex t) const {

@@ -18,11 +18,13 @@ Result<TaskDistanceOracle> TaskDistanceOracle::Precomputed(
   HTA_CHECK(tasks != nullptr);
   const size_t n = tasks->size();
   const size_t pairs = n * (n - 1) / 2;
-  if (pairs * sizeof(float) > max_cache_bytes) {
+  // Budget check by division: `pairs * sizeof(float)` can wrap size_t
+  // for large n and then wrongly pass the comparison.
+  if (pairs > max_cache_bytes / sizeof(float)) {
     return Status::ResourceExhausted(
         "precomputed distance cache for " + std::to_string(n) +
-        " tasks needs " + std::to_string(pairs * sizeof(float)) +
-        " bytes > limit " + std::to_string(max_cache_bytes));
+        " tasks needs " + std::to_string(pairs) + " float entries > limit " +
+        std::to_string(max_cache_bytes) + " bytes");
   }
   TaskDistanceOracle oracle(tasks, kind);
   oracle.cache_.resize(pairs);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "assign/auditor.h"
 #include "util/timer.h"
 
 namespace hta {
@@ -193,6 +194,15 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
                                     options_.seed + iterations_.size(), &rng_,
                                     options_.swap);
     HTA_CHECK(solved.ok()) << solved.status();
+    if (AuditEnabled()) {
+      // Every strategy (HTA and baselines alike) must hand the engine a
+      // feasible assignment whose reported objective survives a
+      // from-scratch recompute; a violation here would corrupt the task
+      // pool below, so it is fatal rather than recoverable.
+      const Status audit = AssignmentAuditor(*problem).Audit(
+          solved->assignment, solved->stats.motivation);
+      HTA_CHECK(audit.ok()) << audit;
+    }
     motivation = solved->stats.motivation;
     solver_task_count = local_tasks.size();
 

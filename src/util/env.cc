@@ -1,6 +1,7 @@
 #include "util/env.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 namespace hta {
@@ -15,8 +16,12 @@ int64_t GetEnvIntOr(const std::string& name, int64_t fallback) {
   const std::string raw = GetEnvOr(name, "");
   if (raw.empty()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long long parsed = std::strtoll(raw.c_str(), &end, 10);
   if (end == raw.c_str() || *end != '\0') return fallback;
+  // strtoll saturates to LLONG_MIN/LLONG_MAX on out-of-range input and
+  // reports it only through errno; treat such values as unparsable.
+  if (errno == ERANGE) return fallback;
   return parsed;
 }
 

@@ -28,8 +28,9 @@ std::string BenchScaleName(BenchScale scale);
 /// Reads an environment variable, or `fallback` if unset/empty.
 std::string GetEnvOr(const std::string& name, const std::string& fallback);
 
-/// Reads an integer environment variable, or `fallback` if unset or
-/// unparsable.
+/// Reads an integer environment variable, or `fallback` if unset,
+/// unparsable, or outside the int64_t range (strtoll's saturated
+/// LLONG_MIN/LLONG_MAX results are rejected via errno == ERANGE).
 int64_t GetEnvIntOr(const std::string& name, int64_t fallback);
 
 /// Reads HTA_THREADS, the requested size of the global compute thread

@@ -48,6 +48,18 @@ double NormalCdf(double z) {
   return 0.5 * std::erfc(-z / std::sqrt(2.0));
 }
 
+namespace {
+
+/// Two-sided normal p-value 2 * (1 - Phi(|z|)), computed directly as
+/// erfc(|z| / sqrt(2)). The 2 * (1 - NormalCdf(|z|)) form cancels to
+/// exactly 0 in double arithmetic once |z| ≳ 8; erfc keeps full
+/// precision down to its underflow threshold (|z| ≈ 38).
+double TwoSidedNormalP(double z) {
+  return std::erfc(std::fabs(z) / std::sqrt(2.0));
+}
+
+}  // namespace
+
 Result<TestResult> TwoProportionZTest(size_t successes_a, size_t trials_a,
                                       size_t successes_b, size_t trials_b) {
   if (trials_a == 0 || trials_b == 0) {
@@ -70,7 +82,7 @@ Result<TestResult> TwoProportionZTest(size_t successes_a, size_t trials_a,
     return r;
   }
   r.statistic = (pa - pb) / se;
-  r.p_value = 2.0 * (1.0 - NormalCdf(std::abs(r.statistic)));
+  r.p_value = TwoSidedNormalP(r.statistic);
   return r;
 }
 
@@ -122,8 +134,7 @@ Result<TestResult> MannWhitneyUTest(const std::vector<double>& a,
   }
   // Continuity correction.
   const double z = (u_a - mu - (u_a > mu ? 0.5 : -0.5)) / std::sqrt(sigma2);
-  r.p_value = 2.0 * (1.0 - NormalCdf(std::abs(z)));
-  r.p_value = std::min(1.0, r.p_value);
+  r.p_value = std::min(1.0, TwoSidedNormalP(z));
   return r;
 }
 

@@ -46,7 +46,7 @@ void TableWriter::Print(std::ostream& os) const {
 namespace {
 
 std::string CsvEscape(const std::string& cell) {
-  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
   std::string out = "\"";
   for (char ch : cell) {
     if (ch == '"') out += "\"\"";

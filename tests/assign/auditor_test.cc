@@ -1,0 +1,186 @@
+// The AssignmentAuditor contract: every deliberately corrupted
+// assignment fails with the Status code and message of exactly the
+// violated invariant, valid output passes, and the objective check
+// rejects any claimed value outside the 1e-9 agreement band.
+#include "assign/auditor.h"
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assign/hta_solver.h"
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+struct Fixture {
+  std::vector<Task> tasks;
+  std::vector<Worker> workers;
+};
+
+Fixture RandomFixture(size_t num_tasks, size_t num_workers, uint64_t seed) {
+  Fixture f;
+  Rng rng(seed);
+  for (size_t i = 0; i < num_tasks; ++i) {
+    KeywordVector v(64);
+    const size_t bits = 2 + rng.NextBounded(6);
+    for (size_t b = 0; b < bits; ++b) {
+      v.Set(static_cast<KeywordId>(rng.NextBounded(64)));
+    }
+    f.tasks.emplace_back(i, std::move(v));
+  }
+  for (size_t q = 0; q < num_workers; ++q) {
+    KeywordVector v(64);
+    for (int b = 0; b < 5; ++b) {
+      v.Set(static_cast<KeywordId>(rng.NextBounded(64)));
+    }
+    const double alpha = rng.NextDouble();
+    f.workers.emplace_back(q, std::move(v),
+                           MotivationWeights{alpha, 1.0 - alpha});
+  }
+  return f;
+}
+
+class AuditorTest : public ::testing::Test {
+ protected:
+  AuditorTest() : fixture_(RandomFixture(20, 3, 7)) {
+    auto problem = HtaProblem::Create(&fixture_.tasks, &fixture_.workers, 4);
+    HTA_CHECK(problem.ok()) << problem.status();
+    problem_.emplace(std::move(*problem));
+    auto solved = SolveHtaGre(*problem_, 7);
+    HTA_CHECK(solved.ok()) << solved.status();
+    assignment_ = solved->assignment;
+    motivation_ = solved->stats.motivation;
+  }
+
+  Fixture fixture_;
+  std::optional<HtaProblem> problem_;
+  Assignment assignment_;
+  double motivation_ = 0.0;
+};
+
+TEST_F(AuditorTest, SolverOutputPassesFullAudit) {
+  const AssignmentAuditor auditor(*problem_);
+  EXPECT_TRUE(auditor.CheckStructure(assignment_).ok());
+  EXPECT_TRUE(auditor.Audit(assignment_, motivation_).ok());
+}
+
+TEST_F(AuditorTest, WrongBundleCountIsInvalidArgument) {
+  const AssignmentAuditor auditor(*problem_);
+  Assignment corrupted = assignment_;
+  corrupted.bundles.pop_back();
+  const Status s = auditor.CheckStructure(corrupted);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("2 bundles for 3 workers"), std::string::npos)
+      << s;
+}
+
+TEST_F(AuditorTest, InvalidTaskIndexIsOutOfRange) {
+  const AssignmentAuditor auditor(*problem_);
+  Assignment corrupted = assignment_;
+  ASSERT_FALSE(corrupted.bundles[1].empty());
+  corrupted.bundles[1][0] = static_cast<TaskIndex>(fixture_.tasks.size());
+  const Status s = auditor.CheckStructure(corrupted);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(s.message().find("invalid task index 20"), std::string::npos) << s;
+}
+
+TEST_F(AuditorTest, OverCapacityBundleIsC1Violation) {
+  const AssignmentAuditor auditor(*problem_);
+  Assignment corrupted = assignment_;
+  // Append unassigned tasks to worker 0 until Xmax is exceeded.
+  std::vector<bool> used(fixture_.tasks.size(), false);
+  for (const TaskBundle& b : corrupted.bundles) {
+    for (TaskIndex t : b) used[t] = true;
+  }
+  for (size_t t = 0; t < used.size() && corrupted.bundles[0].size() <= 4;
+       ++t) {
+    if (!used[t]) corrupted.bundles[0].push_back(static_cast<TaskIndex>(t));
+  }
+  ASSERT_GT(corrupted.bundles[0].size(), 4u);
+  const Status s = auditor.CheckStructure(corrupted);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("C1 violated: worker 0"), std::string::npos) << s;
+}
+
+TEST_F(AuditorTest, DuplicateTaskAcrossBundlesIsC2Violation) {
+  const AssignmentAuditor auditor(*problem_);
+  Assignment corrupted = assignment_;
+  ASSERT_FALSE(corrupted.bundles[0].empty());
+  ASSERT_FALSE(corrupted.bundles[2].empty());
+  corrupted.bundles[2][0] = corrupted.bundles[0][0];
+  const Status s = auditor.CheckStructure(corrupted);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  const std::string expected =
+      "C2 violated: task " + std::to_string(corrupted.bundles[0][0]) +
+      " assigned to worker 0 and worker 2";
+  EXPECT_NE(s.message().find(expected), std::string::npos) << s;
+}
+
+TEST_F(AuditorTest, DuplicateTaskWithinOneBundleIsC2Violation) {
+  const AssignmentAuditor auditor(*problem_);
+  Assignment corrupted = assignment_;
+  ASSERT_GE(corrupted.bundles[1].size(), 2u);
+  corrupted.bundles[1][1] = corrupted.bundles[1][0];
+  const Status s = auditor.CheckStructure(corrupted);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("C2 violated"), std::string::npos) << s;
+  EXPECT_NE(s.message().find("worker 1 and worker 1"), std::string::npos) << s;
+}
+
+TEST_F(AuditorTest, PerturbedObjectiveIsInternal) {
+  const AssignmentAuditor auditor(*problem_);
+  const Status s = auditor.Audit(assignment_, motivation_ + 1e-6);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("diverges from from-scratch recompute"),
+            std::string::npos)
+      << s;
+}
+
+TEST_F(AuditorTest, ObjectiveWithinToleranceBandPasses) {
+  const AssignmentAuditor auditor(*problem_);
+  const double scale = std::max(1.0, std::fabs(motivation_));
+  EXPECT_TRUE(auditor
+                  .CheckObjective(assignment_,
+                                  motivation_ + 0.5e-9 * scale)
+                  .ok());
+  EXPECT_FALSE(auditor
+                   .CheckObjective(assignment_,
+                                   motivation_ + 4e-9 * scale)
+                   .ok());
+}
+
+TEST_F(AuditorTest, NanClaimFailsTheObjectiveCheck) {
+  const AssignmentAuditor auditor(*problem_);
+  const Status s = auditor.CheckObjective(
+      assignment_, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+TEST_F(AuditorTest, StructureIsCheckedBeforeObjective) {
+  const AssignmentAuditor auditor(*problem_);
+  Assignment corrupted = assignment_;
+  ASSERT_FALSE(corrupted.bundles[0].empty());
+  ASSERT_FALSE(corrupted.bundles[1].empty());
+  corrupted.bundles[1][0] = corrupted.bundles[0][0];
+  // Both structure and objective are now wrong; the structural C2
+  // violation must win.
+  const Status s = auditor.Audit(corrupted, motivation_ + 1.0);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(s.message().find("C2 violated"), std::string::npos) << s;
+}
+
+TEST_F(AuditorTest, EmptyAssignmentOfRightShapePasses) {
+  const AssignmentAuditor auditor(*problem_);
+  Assignment empty;
+  empty.bundles.assign(problem_->worker_count(), {});
+  EXPECT_TRUE(auditor.Audit(empty, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace hta

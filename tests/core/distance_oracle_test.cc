@@ -71,6 +71,28 @@ TEST(DistanceOracleTest, PrecomputedHonorsMemoryLimit) {
   EXPECT_EQ(pre.status().code(), StatusCode::kResourceExhausted);
 }
 
+TEST(DistanceOracleTest, MemoryLimitBoundaryIsExact) {
+  // 40*39/2 = 780 pairs = 3,120 bytes: a budget of exactly that size
+  // must pass and one byte less must fail. The guard divides instead
+  // of multiplying (pairs > max_cache_bytes / sizeof(float)), since
+  // pairs * sizeof(float) can wrap size_t for large |T| and then
+  // wrongly pass the check.
+  const std::vector<Task> tasks = RandomTasks(40, 64, 6);
+  const size_t exact = 780 * sizeof(float);
+  auto fits = TaskDistanceOracle::Precomputed(&tasks, DistanceKind::kJaccard,
+                                              /*max_cache_bytes=*/exact);
+  EXPECT_TRUE(fits.ok()) << fits.status();
+  auto tight = TaskDistanceOracle::Precomputed(&tasks, DistanceKind::kJaccard,
+                                               /*max_cache_bytes=*/exact - 1);
+  EXPECT_FALSE(tight.ok());
+  EXPECT_EQ(tight.status().code(), StatusCode::kResourceExhausted);
+  // The message reports entry counts, never the (overflowable) byte
+  // product.
+  EXPECT_NE(tight.status().message().find("780 float entries"),
+            std::string::npos)
+      << tight.status();
+}
+
 TEST(DistanceOracleTest, ReportsKindAndCount) {
   const std::vector<Task> tasks = RandomTasks(5, 64, 5);
   const TaskDistanceOracle oracle(&tasks, DistanceKind::kCosineAngular);

@@ -48,6 +48,28 @@ TEST_F(EnvTest, GetEnvIntNegative) {
   EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), -5);
 }
 
+TEST_F(EnvTest, GetEnvIntRejectsOutOfRangeValues) {
+  // Regression: strtoll saturates out-of-range input to LLONG_MAX /
+  // LLONG_MIN and only reports it via errno == ERANGE; such values
+  // must fall back instead of silently saturating.
+  setenv("HTA_TEST_VAR", "99999999999999999999", 1);
+  EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), 7);
+  setenv("HTA_TEST_VAR", "-99999999999999999999", 1);
+  EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), 7);
+  // Extremes that do fit in int64_t still parse.
+  setenv("HTA_TEST_VAR", "9223372036854775807", 1);
+  EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), INT64_MAX);
+  setenv("HTA_TEST_VAR", "-9223372036854775808", 1);
+  EXPECT_EQ(GetEnvIntOr("HTA_TEST_VAR", 7), INT64_MIN);
+}
+
+TEST_F(EnvTest, HtaThreadsOutOfRangeFallsBackToAuto) {
+  // Before the ERANGE fix this saturated to LLONG_MAX and clamped to
+  // kMaxHtaThreads, silently accepting a nonsense setting.
+  setenv("HTA_THREADS", "99999999999999999999", 1);
+  EXPECT_EQ(GetHtaThreads(), 0);
+}
+
 TEST_F(EnvTest, HtaThreadsDefaultsToAuto) {
   unsetenv("HTA_THREADS");
   EXPECT_EQ(GetHtaThreads(), 0);

@@ -86,6 +86,28 @@ TEST(TwoProportionZTest, MatchesHandComputedZ) {
   EXPECT_NEAR(r->statistic, 0.1 / se, 1e-9);
 }
 
+TEST(TwoProportionZTest, ExtremeZKeepsTinyNonZeroTail) {
+  // Regression: p = 2 * (1 - NormalCdf(|z|)) cancels to exactly 0 once
+  // |z| >~ 8; the direct erfc tail stays finite far beyond that.
+  const auto r = TwoProportionZTest(5000, 10000, 3000, 10000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(std::abs(r->statistic), 25.0);
+  EXPECT_GT(r->p_value, 0.0);
+  EXPECT_LT(r->p_value, 1e-100);
+  // Pin against the closed form p = erfc(|z| / sqrt(2)).
+  EXPECT_DOUBLE_EQ(r->p_value,
+                   std::erfc(std::abs(r->statistic) / std::sqrt(2.0)));
+}
+
+TEST(TwoProportionZTest, ModerateZMatchesNormalCdfForm) {
+  // Where the old 2 * (1 - Phi) form is still accurate, the erfc tail
+  // must agree with it.
+  const auto r = TwoProportionZTest(60, 100, 50, 100);
+  ASSERT_TRUE(r.ok());
+  const double legacy = 2.0 * (1.0 - NormalCdf(std::abs(r->statistic)));
+  EXPECT_NEAR(r->p_value, legacy, 1e-12);
+}
+
 TEST(TwoProportionZTest, RejectsBadInputs) {
   EXPECT_FALSE(TwoProportionZTest(1, 0, 1, 2).ok());
   EXPECT_FALSE(TwoProportionZTest(3, 2, 1, 2).ok());
@@ -133,6 +155,20 @@ TEST(MannWhitneyUTest, HandlesTies) {
   ASSERT_TRUE(r.ok());
   EXPECT_GE(r->p_value, 0.0);
   EXPECT_LE(r->p_value, 1.0);
+}
+
+TEST(MannWhitneyUTest, FullySeparatedLargeSamplesKeepNonZeroP) {
+  // 60 vs 60 fully separated values give |z| ≈ 9.4, past the point
+  // where the cancelling 2 * (1 - Phi) form rounded the p-value to 0.
+  std::vector<double> a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.push_back(static_cast<double>(i));
+    b.push_back(static_cast<double>(100 + i));
+  }
+  const auto r = MannWhitneyUTest(a, b);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->p_value, 0.0);
+  EXPECT_LT(r->p_value, 1e-15);
 }
 
 TEST(MannWhitneyUTest, RejectsEmpty) {

@@ -52,6 +52,15 @@ TEST(TableWriterTest, CsvPlainCells) {
   EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n");
 }
 
+TEST(TableWriterTest, CsvQuotesCarriageReturnAndNewline) {
+  TableWriter t({"text"});
+  t.AddRow({"line1\r\nline2"});
+  t.AddRow({"bare\rcr"});
+  // RFC 4180: any cell containing CR or LF must be quoted; \r
+  // previously slipped through unquoted.
+  EXPECT_EQ(t.ToCsv(), "text\n\"line1\r\nline2\"\n\"bare\rcr\"\n");
+}
+
 TEST(TableWriterTest, CsvEscapesSpecialCharacters) {
   TableWriter t({"text"});
   t.AddRow({"a,b"});
