@@ -5,6 +5,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -73,11 +74,25 @@ inline std::string JsonStr(const std::string& s) {
   return out;
 }
 
+/// The thread count the global pool actually runs with: HTA_THREADS
+/// when set, otherwise the hardware concurrency (what util/parallel.h
+/// resolves "auto" to).
+inline int ResolvedBenchThreads() {
+  const int requested = GetHtaThreads();
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
 /// Appends one machine-readable record to the file named by
 /// HTA_BENCH_JSON (JSON Lines; one object per line):
-///   {"bench": ..., "scale": ..., "params": {...}, "seconds": ...}
-/// No-op when the variable is unset. Param values are raw JSON
-/// fragments — build them with JsonNum / JsonStr.
+///   {"bench": ..., "scale": ..., "threads": ...,
+///    "hardware_concurrency": ..., "params": {...}, "seconds": ...}
+/// `threads` is the resolved HTA_THREADS value (hardware concurrency
+/// when unset) and `hardware_concurrency` the machine's parallelism, so
+/// records written in different environments stay comparable. No-op
+/// when the variable is unset. Param values are raw JSON fragments —
+/// build them with JsonNum / JsonStr.
 inline void AppendBenchJson(
     const std::string& bench,
     const std::vector<std::pair<std::string, std::string>>& params,
@@ -88,7 +103,9 @@ inline void AppendBenchJson(
   HTA_CHECK(out.good()) << "cannot open HTA_BENCH_JSON file: " << path;
   out << "{\"bench\": " << JsonStr(bench)
       << ", \"scale\": " << JsonStr(BenchScaleName(GetBenchScale()))
-      << ", \"params\": {";
+      << ", \"threads\": " << ResolvedBenchThreads()
+      << ", \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ", \"params\": {";
   for (size_t i = 0; i < params.size(); ++i) {
     if (i > 0) out << ", ";
     out << JsonStr(params[i].first) << ": " << params[i].second;

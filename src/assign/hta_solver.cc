@@ -43,7 +43,8 @@ class AuxiliaryProfit {
 class TabulatedAuxiliaryProfit {
  public:
   TabulatedAuxiliaryProfit(const QapView& view, const std::vector<double>* bm,
-                           size_t max_threads)
+                           size_t max_threads,
+                           DistanceBackend backend = DistanceBackend::kBatched)
       : bm_(bm),
         xmax_(view.problem().xmax()),
         task_count_(view.task_count()),
@@ -53,6 +54,26 @@ class TabulatedAuxiliaryProfit {
       deg_a_[q] = view.DegA(q * xmax_);
     }
     c_table_.resize(task_count_ * worker_count_);
+    if (backend == DistanceBackend::kBatched) {
+      // c_{k, q*xmax} = beta_q * rel(k, q) * (xmax - 1): one batched
+      // rectangular relevance sweep, then the same left-to-right
+      // multiplication chain as QapView::C — bit-identical entries.
+      const HtaProblem& problem = view.problem();
+      std::vector<double> rel;
+      problem.FillRelevanceTable(&rel, max_threads, backend);
+      const double norm = static_cast<double>(xmax_) - 1.0;
+      ParallelFor(
+          0, task_count_, /*grain=*/64,
+          [&](size_t k) {
+            for (size_t q = 0; q < worker_count_; ++q) {
+              c_table_[k * worker_count_ + q] =
+                  problem.workers()[q].weights().beta *
+                  rel[k * worker_count_ + q] * norm;
+            }
+          },
+          max_threads);
+      return;
+    }
     ParallelFor(
         0, task_count_, /*grain=*/64,
         [&](size_t k) {
@@ -167,7 +188,7 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
   // Phase 1 (Line 2): maximum-weight matching M_B over task diversity.
   WallTimer phase_timer;
   std::vector<WeightedEdge> edges =
-      BuildDiversityEdges(problem.oracle(), options.threads);
+      BuildDiversityEdges(problem.oracle(), options.threads, options.backend);
   GraphMatching mb;
   switch (options.matching) {
     case MatchingMethod::kGreedy:
@@ -198,18 +219,30 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
   LsapSolution lsap;
   switch (options.lsap) {
     case LsapMethod::kExactJv: {
-      const TabulatedAuxiliaryProfit profit(view, &bm, options.threads);
+      const TabulatedAuxiliaryProfit profit(view, &bm, options.threads,
+                                            options.backend);
       lsap = SolveLsapJv(n, profit);
       break;
     }
     case LsapMethod::kGreedy: {
-      const AuxiliaryProfit profit(&view, &bm);
       const std::vector<size_t> worker_cols = view.WorkerColumns();
-      lsap = SolveLsapGreedy(n, profit, &worker_cols);
+      if (options.backend == DistanceBackend::kBatched) {
+        // Even the single-scan greedy solve wins from tabulation when
+        // the table comes from one batched rectangular sweep instead of
+        // a scalar Relevance() per probed entry; profits stay
+        // bit-identical to the on-the-fly oracle's.
+        const TabulatedAuxiliaryProfit profit(view, &bm, options.threads,
+                                              options.backend);
+        lsap = SolveLsapGreedy(n, profit, &worker_cols);
+      } else {
+        const AuxiliaryProfit profit(&view, &bm);
+        lsap = SolveLsapGreedy(n, profit, &worker_cols);
+      }
       break;
     }
     case LsapMethod::kExactStructured: {
-      const TabulatedAuxiliaryProfit profit(view, &bm, options.threads);
+      const TabulatedAuxiliaryProfit profit(view, &bm, options.threads,
+                                            options.backend);
       const std::vector<size_t> worker_cols = view.WorkerColumns();
       lsap = SolveLsapStructured(n, profit, worker_cols);
       break;

@@ -394,24 +394,15 @@ double NaiveInsertDelta(const HtaProblem& problem, const TaskBundle& bundle,
 }
 
 BundleStatsCache::BundleStatsCache(const HtaProblem& problem,
-                                   Assignment* assignment, size_t max_threads)
+                                   Assignment* assignment, size_t max_threads,
+                                   DistanceBackend backend)
     : problem_(&problem),
       assignment_(assignment),
       max_threads_(max_threads),
       task_count_(problem.task_count()),
       worker_count_(problem.worker_count()) {
   const TaskDistanceOracle& d = problem.oracle();
-  rel_.resize(task_count_ * worker_count_);
-  ParallelFor(
-      0, task_count_, /*grain=*/16,
-      [&](size_t t) {
-        for (size_t q = 0; q < worker_count_; ++q) {
-          rel_[t * worker_count_ + q] =
-              problem.Relevance(static_cast<TaskIndex>(t),
-                                static_cast<WorkerIndex>(q));
-        }
-      },
-      max_threads_);
+  problem.FillRelevanceTable(&rel_, max_threads_, backend);
   div_sum_.assign(worker_count_ * task_count_, 0.0);
   bundle_div_.assign(worker_count_, 0.0);
   bundle_rel_.assign(worker_count_, 0.0);
@@ -543,7 +534,8 @@ Result<LocalSearchResult> ImproveAssignment(
   const AssignmentAuditor auditor(problem);
   const AssignmentAuditor* audit = AuditEnabled() ? &auditor : nullptr;
   if (options.evaluation == LocalSearchEval::kIncremental) {
-    BundleStatsCache cache(problem, &result.assignment, options.threads);
+    BundleStatsCache cache(problem, &result.assignment, options.threads,
+                           options.backend);
     HTA_RETURN_IF_ERROR(RunPasses(problem, options, &result.assignment,
                                   &unassigned, &cache, audit, &result));
   } else {

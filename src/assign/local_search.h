@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "assign/assignment.h"
+#include "core/packed_set.h"
 #include "util/result.h"
 
 namespace hta {
@@ -63,6 +64,10 @@ struct LocalSearchOptions {
   /// scan and the incremental-table updates (0 = whole pool, 1 =
   /// serial). Any value produces bit-identical results.
   size_t threads = 0;
+  /// Backend for the dense rel[t][q] fill of BundleStatsCache: the
+  /// batched rectangular SoA kernel (default) or the per-pair scalar
+  /// path. Bit-identical tables either way.
+  DistanceBackend backend = DistanceBackend::kBatched;
 };
 
 struct LocalSearchResult {
@@ -108,9 +113,11 @@ class BundleStatsCache {
   /// Builds tables for `assignment` (not owned; must outlive the
   /// cache). `max_threads` caps the pool threads used by construction
   /// and by Apply* table updates; every value yields bit-identical
-  /// tables.
+  /// tables. `backend` selects the batched rectangular kernel or the
+  /// scalar loop for the rel[t][q] fill (bit-identical either way).
   BundleStatsCache(const HtaProblem& problem, Assignment* assignment,
-                   size_t max_threads = 0);
+                   size_t max_threads = 0,
+                   DistanceBackend backend = DistanceBackend::kBatched);
 
   /// Objective change from replacing `worker`'s bundle member at `pos`
   /// with task `in` (which must not currently be in that bundle).

@@ -14,7 +14,7 @@ TaskDistanceOracle::TaskDistanceOracle(const std::vector<Task>* tasks,
 
 Result<TaskDistanceOracle> TaskDistanceOracle::Precomputed(
     const std::vector<Task>* tasks, DistanceKind kind, size_t max_cache_bytes,
-    size_t max_threads) {
+    size_t max_threads, DistanceBackend backend) {
   HTA_CHECK(tasks != nullptr);
   const size_t n = tasks->size();
   const size_t pairs = n * (n - 1) / 2;
@@ -29,6 +29,14 @@ Result<TaskDistanceOracle> TaskDistanceOracle::Precomputed(
   TaskDistanceOracle oracle(tasks, kind);
   oracle.cache_.resize(pairs);
   float* cache = oracle.cache_.data();
+  if (backend == DistanceBackend::kBatched) {
+    // The batched SoA sweep fills the same triangular layout with the
+    // same floats (packed_internal::DistanceFromCounts replicates the
+    // scalar arithmetic), tiled for cache residency.
+    const PackedSetMatrix packed = PackedSetMatrix::FromTasks(*tasks);
+    AllPairsDistancesUpper(packed, kind, cache, max_threads);
+    return oracle;
+  }
   // Row i owns the disjoint cache segment [i*n - i*(i+1)/2, +n-1-i),
   // so row blocks write without overlap and the fill is bit-identical
   // for any thread count. Small row grain keeps the (shrinking) rows

@@ -46,10 +46,12 @@ class KeywordVector {
   void Set(KeywordId id) {
     HTA_DCHECK_LT(static_cast<size_t>(id), universe_size_);
     blocks_[id >> 6] |= (uint64_t{1} << (id & 63));
+    DCheckTailInvariant();
   }
   void Clear(KeywordId id) {
     HTA_DCHECK_LT(static_cast<size_t>(id), universe_size_);
     blocks_[id >> 6] &= ~(uint64_t{1} << (id & 63));
+    DCheckTailInvariant();
   }
   bool Test(KeywordId id) const {
     HTA_DCHECK_LT(static_cast<size_t>(id), universe_size_);
@@ -102,6 +104,11 @@ class KeywordVector {
     return total;
   }
 
+  /// The packed 64-bit blocks, little-endian within each block: bit k of
+  /// block i is keyword id 64*i + k. The batched SoA kernels
+  /// (core/packed_set.h) copy rows out of this representation.
+  const std::vector<uint64_t>& blocks() const { return blocks_; }
+
   /// The ids of all set bits, ascending.
   std::vector<KeywordId> ToIds() const;
 
@@ -113,6 +120,18 @@ class KeywordVector {
   }
 
  private:
+  /// Tail-block invariant: bits at positions >= universe_size in the
+  /// last block are always zero. Count() and the popcount kernels rely
+  /// on this; a stray high bit would silently skew every cardinality.
+  void DCheckTailInvariant() const {
+#ifndef NDEBUG
+    const size_t tail = universe_size_ & 63;
+    if (tail != 0 && !blocks_.empty()) {
+      HTA_DCHECK_EQ(blocks_.back() >> tail, uint64_t{0});
+    }
+#endif
+  }
+
   size_t universe_size_;
   std::vector<uint64_t> blocks_;
 };

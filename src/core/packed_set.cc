@@ -1,0 +1,218 @@
+#include "core/packed_set.h"
+
+#include "util/parallel.h"
+
+namespace hta {
+
+namespace packed_internal {
+
+// Function multi-versioning for the popcount sweep. GCC on x86-64
+// Linux resolves the best clone at load time via ifunc: the baseline
+// x86-64 ABI must assume libgcc popcount calls, hardware POPCNT drops
+// that to one instruction per block, and AVX-512 VPOPCNTQ lets the
+// whole inner loop vectorize 8 blocks per instruction. All clones
+// produce the same exact integers, so kernel results are independent of
+// which clone the dynamic linker picks. Sanitizer builds skip the
+// attribute (ifunc resolvers run before the runtime is initialized).
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__)
+#define HTA_POPCOUNT_CLONES \
+  __attribute__((target_clones("arch=icelake-server", "popcnt", "default")))
+#else
+#define HTA_POPCOUNT_CLONES
+#endif
+
+HTA_POPCOUNT_CLONES
+void IntersectRowCounts(const uint64_t* a, const uint64_t* rows, size_t nb,
+                        size_t count, uint32_t* out) {
+  for (size_t r = 0; r < count; ++r) {
+    const uint64_t* b = rows + r * nb;
+    // Single-accumulator reduction: the shape the vectorizer turns into
+    // a vpopcntq reduction; nb is a multiple of kBlockPad.
+    uint64_t sum = 0;
+    for (size_t k = 0; k < nb; ++k) {
+      sum += static_cast<uint64_t>(std::popcount(a[k] & b[k]));
+    }
+    out[r] = static_cast<uint32_t>(sum);
+  }
+}
+
+#undef HTA_POPCOUNT_CLONES
+
+}  // namespace packed_internal
+
+namespace {
+
+/// Column-tile width (in rows) of the cache-blocked all-pairs sweep. At
+/// the paper's vocabulary scale (universe ~1000 keywords -> 16 padded
+/// blocks = 128 bytes/row) a tile is ~16 KiB of j-rows plus their
+/// counts — resident in L1 while every i-row of a 16-row block streams
+/// against it. Fixed, never derived from the thread count, so tiling is
+/// a pure traversal-order change inside disjoint per-row segments.
+constexpr size_t kPairTileRows = 128;
+
+/// Column grain of the one-vs-many sweep: blocks of this many j indices
+/// form the fixed partition ParallelFor distributes.
+constexpr size_t kOneVsManyGrain = 256;
+
+/// Row grain of the all-pairs and rectangular sweeps (matches the
+/// precomputed-oracle fill so the partition stays balanced on the
+/// shrinking rows of the triangle).
+constexpr size_t kRowGrain = 16;
+
+}  // namespace
+
+PackedSetMatrix PackedSetMatrix::WithShape(size_t rows,
+                                           size_t universe_size) {
+  PackedSetMatrix m;
+  m.rows_ = rows;
+  m.universe_size_ = universe_size;
+  const size_t blocks = (universe_size + 63) / 64;
+  m.row_blocks_ = (blocks + kBlockPad - 1) / kBlockPad * kBlockPad;
+  m.blocks_.assign(rows * m.row_blocks_, 0);
+  m.counts_.assign(rows, 0);
+  return m;
+}
+
+void PackedSetMatrix::PackRow(size_t r, const KeywordVector& v) {
+  HTA_DCHECK_EQ(v.universe_size(), universe_size_);
+  const std::vector<uint64_t>& src = v.blocks();
+  uint64_t* dst = blocks_.data() + r * row_blocks_;
+  uint32_t count = 0;
+  for (size_t k = 0; k < src.size(); ++k) {
+    dst[k] = src[k];
+    count += static_cast<uint32_t>(std::popcount(src[k]));
+  }
+  counts_[r] = count;
+}
+
+PackedSetMatrix PackedSetMatrix::FromTasks(const std::vector<Task>& tasks) {
+  PackedSetMatrix m = WithShape(
+      tasks.size(), tasks.empty() ? 0 : tasks[0].keywords().universe_size());
+  for (size_t r = 0; r < tasks.size(); ++r) {
+    m.PackRow(r, tasks[r].keywords());
+  }
+  return m;
+}
+
+PackedSetMatrix PackedSetMatrix::FromWorkers(
+    const std::vector<Worker>& workers) {
+  PackedSetMatrix m = WithShape(
+      workers.size(),
+      workers.empty() ? 0 : workers[0].interests().universe_size());
+  for (size_t r = 0; r < workers.size(); ++r) {
+    m.PackRow(r, workers[r].interests());
+  }
+  return m;
+}
+
+PackedSetMatrix PackedSetMatrix::FromVectors(
+    const std::vector<KeywordVector>& vecs) {
+  PackedSetMatrix m =
+      WithShape(vecs.size(), vecs.empty() ? 0 : vecs[0].universe_size());
+  for (size_t r = 0; r < vecs.size(); ++r) {
+    m.PackRow(r, vecs[r]);
+  }
+  return m;
+}
+
+void OneVsManyDistances(const PackedSetMatrix& m, size_t i, DistanceKind kind,
+                        double* out, size_t max_threads) {
+  HTA_DCHECK_LT(i, m.rows());
+  packed_internal::WithKind(kind, [&](auto kind_tag) {
+    constexpr DistanceKind K = decltype(kind_tag)::value;
+    const uint64_t* ri = m.row(i);
+    const size_t nb = m.row_blocks();
+    const size_t ca = m.count(i);
+    const size_t universe = m.universe_size();
+    static_assert(kOneVsManyGrain <= packed_internal::kCountTile);
+    ParallelFor(
+        0, m.rows(), kOneVsManyGrain,
+        [&](size_t j_begin, size_t j_end) {
+          uint32_t inter[packed_internal::kCountTile];
+          packed_internal::IntersectRowCounts(ri, m.row(j_begin), nb,
+                                              j_end - j_begin, inter);
+          for (size_t j = j_begin; j < j_end; ++j) {
+            out[j] = packed_internal::DistanceFromCounts<K>(
+                inter[j - j_begin], ca, m.count(j), universe);
+          }
+          if (i >= j_begin && i < j_end) out[i] = 0.0;
+        },
+        max_threads);
+  });
+}
+
+void AllPairsDistancesUpper(const PackedSetMatrix& m, DistanceKind kind,
+                            float* cache, size_t max_threads) {
+  const size_t n = m.rows();
+  if (n < 2) return;
+  packed_internal::WithKind(kind, [&](auto kind_tag) {
+    constexpr DistanceKind K = decltype(kind_tag)::value;
+    const size_t nb = m.row_blocks();
+    const size_t universe = m.universe_size();
+    // Row i owns the disjoint cache segment starting at
+    // i*n - i*(i+1)/2 (entry j is at offset j-i-1), exactly the layout
+    // TaskDistanceOracle::Precomputed fills; write order within a
+    // segment is irrelevant, which is what permits the column tiling.
+    ParallelFor(
+        0, n, kRowGrain,
+        [&](size_t row_begin, size_t row_end) {
+          uint32_t inter[kPairTileRows];
+          for (size_t j_tile = row_begin + 1; j_tile < n;
+               j_tile += kPairTileRows) {
+            const size_t j_hi = std::min(j_tile + kPairTileRows, n);
+            for (size_t i = row_begin; i < row_end; ++i) {
+              const size_t j_lo = std::max(j_tile, i + 1);
+              if (j_lo >= j_hi) continue;
+              const uint64_t* ri = m.row(i);
+              const size_t ca = m.count(i);
+              float* seg = cache + (i * n - i * (i + 1) / 2);
+              packed_internal::IntersectRowCounts(ri, m.row(j_lo), nb,
+                                                  j_hi - j_lo, inter);
+              for (size_t j = j_lo; j < j_hi; ++j) {
+                seg[j - i - 1] = static_cast<float>(
+                    packed_internal::DistanceFromCounts<K>(
+                        inter[j - j_lo], ca, m.count(j), universe));
+              }
+            }
+          }
+        },
+        max_threads);
+  });
+}
+
+void RectangularRelevance(const PackedSetMatrix& a, const PackedSetMatrix& b,
+                          DistanceKind kind, double* out,
+                          size_t max_threads) {
+  if (a.rows() == 0 || b.rows() == 0) return;
+  HTA_DCHECK_EQ(a.universe_size(), b.universe_size());
+  const size_t cols = b.rows();
+  packed_internal::WithKind(kind, [&](auto kind_tag) {
+    constexpr DistanceKind K = decltype(kind_tag)::value;
+    const size_t nb = a.row_blocks();
+    const size_t universe = a.universe_size();
+    ParallelFor(
+        0, a.rows(), kRowGrain,
+        [&](size_t row_begin, size_t row_end) {
+          // The b side is one contiguous run of rows, so each a-row
+          // takes a single sweep; the count buffer is per block, sized
+          // to the worker set (typically |W| << |T|).
+          std::vector<uint32_t> inter(cols);
+          for (size_t i = row_begin; i < row_end; ++i) {
+            const uint64_t* ri = a.row(i);
+            const size_t ca = a.count(i);
+            double* row_out = out + i * cols;
+            packed_internal::IntersectRowCounts(ri, b.row(0), nb, cols,
+                                                inter.data());
+            for (size_t j = 0; j < cols; ++j) {
+              row_out[j] =
+                  1.0 - packed_internal::DistanceFromCounts<K>(
+                            inter[j], ca, b.count(j), universe);
+            }
+          }
+        },
+        max_threads);
+  });
+}
+
+}  // namespace hta

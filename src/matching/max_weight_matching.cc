@@ -1,6 +1,9 @@
 #include "matching/max_weight_matching.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <new>
 
 #include "util/check.h"
 #include "util/parallel.h"
@@ -54,9 +57,17 @@ GraphMatching GreedyMaxWeightMatching(size_t vertex_count,
 }
 
 std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
-                                              size_t max_threads) {
+                                              size_t max_threads,
+                                              DistanceBackend backend) {
   const size_t n = d.task_count();
   if (n < 2) return {};
+  // The fused SoA sweep applies only when distances come from keyword
+  // vectors; a precomputed (or dense-matrix) oracle already answers
+  // from its float cache, which the kernels must not bypass.
+  const bool batched =
+      backend == DistanceBackend::kBatched && !d.is_precomputed();
+  const PackedSetMatrix packed =
+      batched ? PackedSetMatrix::FromTasks(d.tasks()) : PackedSetMatrix();
   // Padding vertices have zero weight to everything and can never
   // enter a maximum-weight matching built from positive edges, so only
   // real task pairs are scanned. Each fixed block of kEdgeRowGrain
@@ -64,7 +75,19 @@ std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
   // count); shards concatenate in block order, reproducing the serial
   // row-major edge order bit-for-bit at any thread count.
   const size_t num_blocks = parallel_internal::BlockCount(0, n, kEdgeRowGrain);
-  std::vector<std::vector<WeightedEdge>> shards(num_blocks);
+  // Batched shards are uninitialized byte buffers written through a
+  // bump pointer: at kernel throughput, the value-initializing memset
+  // of vector::resize and the capacity checks of push_back both cost
+  // more than the fused distance sweep itself.
+  struct RawShard {
+    std::unique_ptr<std::byte[]> bytes;
+    size_t count = 0;
+    const WeightedEdge* data() const {
+      return reinterpret_cast<const WeightedEdge*>(bytes.get());
+    }
+  };
+  std::vector<RawShard> raw_shards(batched ? num_blocks : 0);
+  std::vector<std::vector<WeightedEdge>> shards(batched ? 0 : num_blocks);
   ParallelFor(
       0, num_blocks, /*grain=*/1,
       [&](size_t block) {
@@ -75,6 +98,24 @@ std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
         const size_t pairs = span * (n - 1) -
                              (rows.end * (rows.end - 1) / 2 -
                               rows.begin * (rows.begin - 1) / 2);
+        if (batched) {
+          RawShard& shard = raw_shards[block];
+          shard.bytes = std::make_unique_for_overwrite<std::byte[]>(
+              pairs * sizeof(WeightedEdge));
+          std::byte* base = shard.bytes.get();
+          size_t emitted = 0;
+          for (size_t i = rows.begin; i < rows.end; ++i) {
+            EmitPositiveDistancesInRow(
+                packed, i, d.kind(), [&](size_t j, float w) {
+                  ::new (base + emitted * sizeof(WeightedEdge))
+                      WeightedEdge{static_cast<VertexId>(i),
+                                   static_cast<VertexId>(j), w};
+                  ++emitted;
+                });
+          }
+          shard.count = emitted;
+          return;
+        }
         std::vector<WeightedEdge>& shard = shards[block];
         shard.reserve(pairs);
         for (size_t i = rows.begin; i < rows.end; ++i) {
@@ -90,9 +131,13 @@ std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
       },
       max_threads);
   size_t total = 0;
+  for (const auto& shard : raw_shards) total += shard.count;
   for (const auto& shard : shards) total += shard.size();
   std::vector<WeightedEdge> edges;
   edges.reserve(total);
+  for (const auto& shard : raw_shards) {
+    edges.insert(edges.end(), shard.data(), shard.data() + shard.count);
+  }
   for (const auto& shard : shards) {
     edges.insert(edges.end(), shard.begin(), shard.end());
   }
@@ -100,10 +145,11 @@ std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
 }
 
 GraphMatching GreedyMatchingOnTaskGraph(const TaskDistanceOracle& oracle,
-                                        size_t max_threads) {
-  return GreedyMaxWeightMatching(oracle.task_count(),
-                                 BuildDiversityEdges(oracle, max_threads),
-                                 max_threads);
+                                        size_t max_threads,
+                                        DistanceBackend backend) {
+  return GreedyMaxWeightMatching(
+      oracle.task_count(), BuildDiversityEdges(oracle, max_threads, backend),
+      max_threads);
 }
 
 GraphMatching PathGrowingMatching(size_t vertex_count,

@@ -3,7 +3,42 @@
 #include <cmath>
 #include <string>
 
+#include "core/packed_set.h"
+#include "util/parallel.h"
+
 namespace hta {
+
+void HtaProblem::FillRelevanceTable(std::vector<double>* rel,
+                                    size_t max_threads,
+                                    DistanceBackend backend) const {
+  const size_t num_tasks = task_count();
+  const size_t num_workers = worker_count();
+  if (!relevance_override_.empty()) {
+    *rel = relevance_override_;
+    return;
+  }
+  rel->resize(num_tasks * num_workers);
+  if (backend == DistanceBackend::kBatched) {
+    const PackedSetMatrix packed_tasks = PackedSetMatrix::FromTasks(*tasks_);
+    const PackedSetMatrix packed_workers =
+        PackedSetMatrix::FromWorkers(*workers_);
+    RectangularRelevance(packed_tasks, packed_workers, oracle_.kind(),
+                         rel->data(), max_threads);
+    return;
+  }
+  double* out = rel->data();
+  ParallelFor(
+      0, num_tasks, /*grain=*/16,
+      [&](size_t t_begin, size_t t_end) {
+        for (size_t t = t_begin; t < t_end; ++t) {
+          for (size_t q = 0; q < num_workers; ++q) {
+            out[t * num_workers + q] =
+                TaskRelevance(oracle_.kind(), (*tasks_)[t], (*workers_)[q]);
+          }
+        }
+      },
+      max_threads);
+}
 
 Status HtaProblem::ValidateShape(const std::vector<Task>* tasks,
                                  const std::vector<Worker>* workers,

@@ -57,6 +57,18 @@ class HtaProblem {
   /// Pairwise-diversity oracle over the problem's tasks (matrix B).
   const TaskDistanceOracle& oracle() const { return oracle_; }
 
+  /// Fills `rel` (resized to task_count() * worker_count(), row-major
+  /// rel[t * |W| + q]) with Relevance(t, q) for every pair — the dense
+  /// table behind the tabulated LSAP profits and the local-search
+  /// bundle cache. With an override matrix the table is a copy;
+  /// otherwise the kBatched backend (default) runs the rectangular SoA
+  /// relevance kernel and kScalar the per-pair TaskRelevance loop —
+  /// bit-identical results either way, parallelized over task-row
+  /// blocks (`max_threads` caps threads, 0 = pool size).
+  void FillRelevanceTable(
+      std::vector<double>* rel, size_t max_threads = 0,
+      DistanceBackend backend = DistanceBackend::kBatched) const;
+
   /// rel(t_k, w_q): the override matrix when present, otherwise derived
   /// from keyword vectors under the problem's metric.
   double Relevance(TaskIndex task, WorkerIndex worker) const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/packed_set.h"
 #include "util/parallel.h"
 
 namespace hta {
@@ -80,19 +81,42 @@ double QapView::Objective(const std::vector<int32_t>& perm,
 }
 
 DenseQapMatrices DenseQapMatrices::FromView(const QapView& view,
-                                            size_t max_threads) {
+                                            size_t max_threads,
+                                            DistanceBackend backend) {
   DenseQapMatrices m;
   m.n = view.n();
   m.a.resize(m.n * m.n);
   m.b.resize(m.n * m.n);
   m.c.resize(m.n * m.n);
+  // Batched B rows only when distances come from keyword vectors; a
+  // precomputed (or dense-matrix) oracle answers from its float cache,
+  // which the kernel must not bypass.
+  const bool batched = backend == DistanceBackend::kBatched &&
+                       !view.problem().oracle().is_precomputed();
+  const PackedSetMatrix packed =
+      batched ? PackedSetMatrix::FromTasks(view.problem().tasks())
+              : PackedSetMatrix();
+  const size_t tasks = view.task_count();
   ParallelFor(
       0, m.n, /*grain=*/8,
       [&](size_t k) {
         for (size_t l = 0; l < m.n; ++l) {
           m.a[k * m.n + l] = view.A(k, l);
-          m.b[k * m.n + l] = view.B(k, l);
           m.c[k * m.n + l] = view.C(k, l);
+        }
+        if (batched) {
+          // Row k of B via the one-vs-many kernel: identical doubles
+          // (same popcounts, same arithmetic), diagonal set to 0 by the
+          // kernel, padding columns/rows stay at the resize() zeros —
+          // exactly view.B. Serial inside the row-parallel loop.
+          if (k < tasks) {
+            OneVsManyDistances(packed, k, view.problem().distance_kind(),
+                               &m.b[k * m.n], /*max_threads=*/1);
+          }
+          return;
+        }
+        for (size_t l = 0; l < m.n; ++l) {
+          m.b[k * m.n + l] = view.B(k, l);
         }
       },
       max_threads);

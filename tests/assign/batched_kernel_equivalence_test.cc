@@ -1,0 +1,255 @@
+// Batched/scalar equivalence net for the SoA distance kernels: on
+// randomized instances, every consumer of DistanceBackend — the
+// precomputed distance cache, the fused diversity-edge emission, the
+// dense QAP materialization, the rel[t][q] relevance table, and the
+// full HTA-APP / HTA-GRE solver pipelines — must produce bit-identical
+// results under DistanceBackend::kBatched and DistanceBackend::kScalar,
+// at every thread cap. This is what lets the batched kernels be the
+// default: they are a pure performance change, invisible to results.
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assign/hta_solver.h"
+#include "assign/local_search.h"
+#include "core/distance_oracle.h"
+#include "matching/max_weight_matching.h"
+#include "qap/qap_view.h"
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+// Force a multi-threaded global pool before first use so thread caps
+// above 1 really fan out, even on single-core CI machines.
+const bool kForcePoolSize = [] {
+  setenv("HTA_THREADS", "4", /*overwrite=*/0);
+  return true;
+}();
+
+const DistanceKind kAllKinds[] = {DistanceKind::kJaccard, DistanceKind::kDice,
+                                  DistanceKind::kHamming,
+                                  DistanceKind::kCosineAngular};
+const size_t kThreadCaps[] = {0, 1, 2, 4};
+
+struct Instance {
+  std::vector<Task> tasks;
+  std::vector<Worker> workers;
+};
+
+// Universe 100 on purpose: a tail block with 36 padding bits, so the
+// batched kernels run against rows where the invariant actually
+// matters, not just whole-block universes.
+Instance MakeInstance(size_t num_tasks, size_t num_workers, uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  for (size_t i = 0; i < num_tasks; ++i) {
+    KeywordVector v(100);
+    const size_t bits = 2 + rng.NextBounded(8);
+    for (size_t b = 0; b < bits; ++b) {
+      v.Set(static_cast<KeywordId>(rng.NextBounded(100)));
+    }
+    inst.tasks.emplace_back(i, std::move(v));
+  }
+  for (size_t q = 0; q < num_workers; ++q) {
+    KeywordVector v(100);
+    for (int b = 0; b < 6; ++b) {
+      v.Set(static_cast<KeywordId>(rng.NextBounded(100)));
+    }
+    const double alpha = rng.NextDouble();
+    inst.workers.emplace_back(q, std::move(v),
+                              MotivationWeights{alpha, 1.0 - alpha});
+  }
+  return inst;
+}
+
+TEST(BatchedKernelEquivalenceTest, PrecomputedCacheBitIdentical) {
+  ASSERT_TRUE(kForcePoolSize);
+  for (const DistanceKind kind : kAllKinds) {
+    for (const uint64_t seed : {101u, 102u}) {
+      const Instance inst = MakeInstance(90, 4, seed);
+      auto scalar = TaskDistanceOracle::Precomputed(
+          &inst.tasks, kind, size_t{4} << 30, /*max_threads=*/1,
+          DistanceBackend::kScalar);
+      ASSERT_TRUE(scalar.ok());
+      for (const size_t cap : kThreadCaps) {
+        auto batched = TaskDistanceOracle::Precomputed(
+            &inst.tasks, kind, size_t{4} << 30, cap,
+            DistanceBackend::kBatched);
+        ASSERT_TRUE(batched.ok());
+        for (size_t i = 0; i < inst.tasks.size(); ++i) {
+          for (size_t j = 0; j < inst.tasks.size(); ++j) {
+            ASSERT_EQ((*batched)(static_cast<TaskIndex>(i),
+                                 static_cast<TaskIndex>(j)),
+                      (*scalar)(static_cast<TaskIndex>(i),
+                                static_cast<TaskIndex>(j)))
+                << DistanceKindName(kind) << " cap " << cap << " pair ("
+                << i << ", " << j << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedKernelEquivalenceTest, DiversityEdgesBitIdentical) {
+  for (const DistanceKind kind : kAllKinds) {
+    for (const uint64_t seed : {111u, 112u}) {
+      const Instance inst = MakeInstance(85, 3, seed);
+      const TaskDistanceOracle oracle(&inst.tasks, kind);
+      const std::vector<WeightedEdge> scalar = BuildDiversityEdges(
+          oracle, /*max_threads=*/1, DistanceBackend::kScalar);
+      for (const size_t cap : kThreadCaps) {
+        const std::vector<WeightedEdge> batched =
+            BuildDiversityEdges(oracle, cap, DistanceBackend::kBatched);
+        ASSERT_EQ(batched.size(), scalar.size())
+            << DistanceKindName(kind) << " cap " << cap;
+        for (size_t e = 0; e < scalar.size(); ++e) {
+          ASSERT_EQ(batched[e].u, scalar[e].u) << "edge " << e;
+          ASSERT_EQ(batched[e].v, scalar[e].v) << "edge " << e;
+          ASSERT_EQ(batched[e].weight, scalar[e].weight) << "edge " << e;
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedKernelEquivalenceTest, PrecomputedOracleBypassesBatchedPath) {
+  // A precomputed oracle answers from its float cache; the batched
+  // request must not silently rebuild from keyword vectors (the cache
+  // holds floats, the kernels doubles — bypassing would change bits).
+  const Instance inst = MakeInstance(60, 3, 121);
+  auto pre = TaskDistanceOracle::Precomputed(&inst.tasks,
+                                             DistanceKind::kJaccard);
+  ASSERT_TRUE(pre.ok());
+  const std::vector<WeightedEdge> batched =
+      BuildDiversityEdges(*pre, /*max_threads=*/1, DistanceBackend::kBatched);
+  const std::vector<WeightedEdge> scalar =
+      BuildDiversityEdges(*pre, /*max_threads=*/1, DistanceBackend::kScalar);
+  ASSERT_EQ(batched.size(), scalar.size());
+  for (size_t e = 0; e < scalar.size(); ++e) {
+    ASSERT_EQ(batched[e].weight, scalar[e].weight) << "edge " << e;
+  }
+}
+
+TEST(BatchedKernelEquivalenceTest, DenseQapMatricesBitIdentical) {
+  for (const uint64_t seed : {131u, 132u}) {
+    const Instance inst = MakeInstance(40, 3, seed);
+    auto problem = HtaProblem::Create(&inst.tasks, &inst.workers, /*xmax=*/4);
+    ASSERT_TRUE(problem.ok());
+    const QapView view(&*problem);
+    const DenseQapMatrices scalar = DenseQapMatrices::FromView(
+        view, /*max_threads=*/1, DistanceBackend::kScalar);
+    for (const size_t cap : kThreadCaps) {
+      const DenseQapMatrices batched =
+          DenseQapMatrices::FromView(view, cap, DistanceBackend::kBatched);
+      ASSERT_EQ(batched.n, scalar.n);
+      EXPECT_EQ(batched.a, scalar.a) << "cap " << cap;
+      EXPECT_EQ(batched.b, scalar.b) << "cap " << cap;
+      EXPECT_EQ(batched.c, scalar.c) << "cap " << cap;
+    }
+  }
+}
+
+TEST(BatchedKernelEquivalenceTest, RelevanceTableBitIdentical) {
+  for (const DistanceKind kind : kAllKinds) {
+    const Instance inst = MakeInstance(70, 5, 141);
+    auto problem =
+        HtaProblem::Create(&inst.tasks, &inst.workers, /*xmax=*/4, kind,
+                           /*allow_non_metric=*/kind == DistanceKind::kDice);
+    ASSERT_TRUE(problem.ok());
+    const size_t cells = inst.tasks.size() * inst.workers.size();
+    std::vector<double> scalar(cells);
+    problem->FillRelevanceTable(&scalar, /*max_threads=*/1,
+                                DistanceBackend::kScalar);
+    for (const size_t cap : kThreadCaps) {
+      std::vector<double> batched(cells);
+      problem->FillRelevanceTable(&batched, cap, DistanceBackend::kBatched);
+      EXPECT_EQ(batched, scalar)
+          << DistanceKindName(kind) << " cap " << cap;
+    }
+  }
+}
+
+class SolverBackendEquivalence : public ::testing::TestWithParam<LsapMethod> {
+};
+
+TEST_P(SolverBackendEquivalence, AssignmentsBitIdenticalAcrossBackends) {
+  for (const uint64_t seed : {151u, 152u, 153u}) {
+    const Instance inst = MakeInstance(88, 4, seed);
+    auto problem = HtaProblem::Create(&inst.tasks, &inst.workers, /*xmax=*/5);
+    ASSERT_TRUE(problem.ok());
+
+    HtaSolverOptions options;
+    options.lsap = GetParam();
+    options.swap = SwapMode::kBestOfTwo;  // Deterministic swap phase.
+    options.seed = seed;
+
+    options.backend = DistanceBackend::kScalar;
+    options.threads = 1;
+    auto scalar = SolveHta(*problem, options);
+    ASSERT_TRUE(scalar.ok());
+
+    options.backend = DistanceBackend::kBatched;
+    for (const size_t cap : {size_t{1}, size_t{0}}) {
+      options.threads = cap;
+      auto batched = SolveHta(*problem, options);
+      ASSERT_TRUE(batched.ok());
+      EXPECT_EQ(batched->assignment.bundles, scalar->assignment.bundles)
+          << "threads " << cap;
+      EXPECT_EQ(batched->stats.qap_objective, scalar->stats.qap_objective);
+      EXPECT_EQ(batched->stats.motivation, scalar->stats.motivation);
+      EXPECT_EQ(batched->stats.optimum_upper_bound,
+                scalar->stats.optimum_upper_bound);
+      EXPECT_EQ(batched->stats.certified_ratio,
+                scalar->stats.certified_ratio);
+      EXPECT_EQ(batched->stats.matched_pairs, scalar->stats.matched_pairs);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLsapMethods, SolverBackendEquivalence,
+                         ::testing::Values(LsapMethod::kExactJv,
+                                           LsapMethod::kGreedy,
+                                           LsapMethod::kExactStructured),
+                         [](const ::testing::TestParamInfo<LsapMethod>& info) {
+                           switch (info.param) {
+                             case LsapMethod::kExactJv:
+                               return "jv";
+                             case LsapMethod::kGreedy:
+                               return "greedy";
+                             case LsapMethod::kExactStructured:
+                               return "rect";
+                           }
+                           return "unknown";
+                         });
+
+TEST(BatchedKernelEquivalenceTest, LocalSearchBitIdenticalAcrossBackends) {
+  const Instance inst = MakeInstance(60, 4, 161);
+  auto problem = HtaProblem::Create(&inst.tasks, &inst.workers, /*xmax=*/4);
+  ASSERT_TRUE(problem.ok());
+  auto seeded = SolveHtaGre(*problem, /*seed=*/161);
+  ASSERT_TRUE(seeded.ok());
+
+  LocalSearchOptions options;
+  options.backend = DistanceBackend::kScalar;
+  options.threads = 1;
+  auto scalar = ImproveAssignment(*problem, seeded->assignment, options);
+  ASSERT_TRUE(scalar.ok());
+
+  options.backend = DistanceBackend::kBatched;
+  for (const size_t cap : {size_t{1}, size_t{0}}) {
+    options.threads = cap;
+    auto batched = ImproveAssignment(*problem, seeded->assignment, options);
+    ASSERT_TRUE(batched.ok());
+    EXPECT_EQ(batched->assignment.bundles, scalar->assignment.bundles)
+        << "threads " << cap;
+    EXPECT_EQ(batched->motivation, scalar->motivation);
+    EXPECT_EQ(batched->applied_delta, scalar->applied_delta);
+    EXPECT_EQ(batched->improving_moves, scalar->improving_moves);
+  }
+}
+
+}  // namespace
+}  // namespace hta
