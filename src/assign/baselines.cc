@@ -22,21 +22,22 @@ std::string StrategyName(StrategyKind kind) {
 
 Result<HtaSolveResult> SolveWithFixedWeights(const HtaProblem& problem,
                                              MotivationWeights weights,
-                                             uint64_t seed, SwapMode swap) {
+                                             uint64_t seed, SwapMode swap,
+                                             size_t threads) {
   std::vector<Worker> overridden;
   overridden.reserve(problem.worker_count());
   for (const Worker& w : problem.workers()) {
     overridden.emplace_back(w.id(), w.interests(), weights);
   }
-  HTA_ASSIGN_OR_RETURN(
-      HtaProblem fixed,
-      HtaProblem::Create(&problem.tasks(), &overridden, problem.xmax(),
-                         problem.distance_kind(),
-                         /*allow_non_metric=*/true));
+  // WithWorkers keeps the task side intact — the same oracle (shared
+  // subset view, dense matrix, or on-the-fly) answers for the override
+  // solve, so no per-strategy problem rebuild happens.
+  const HtaProblem fixed = problem.WithWorkers(&overridden);
   HtaSolverOptions options;
   options.lsap = LsapMethod::kGreedy;
   options.swap = swap;
   options.seed = seed;
+  options.threads = threads;
   HTA_ASSIGN_OR_RETURN(HtaSolveResult result, SolveHta(fixed, options));
   // Report the objective under the *true* worker weights so strategies
   // stay comparable.
@@ -105,21 +106,23 @@ Result<HtaSolveResult> SolveGreedyRelevance(const HtaProblem& problem) {
 
 Result<HtaSolveResult> SolveWithStrategy(const HtaProblem& problem,
                                          StrategyKind kind, uint64_t seed,
-                                         Rng* rng, SwapMode swap) {
+                                         Rng* rng, SwapMode swap,
+                                         size_t threads) {
   switch (kind) {
     case StrategyKind::kHtaGre: {
       HtaSolverOptions options;
       options.lsap = LsapMethod::kGreedy;
       options.swap = swap;
       options.seed = seed;
+      options.threads = threads;
       return SolveHta(problem, options);
     }
     case StrategyKind::kHtaGreDiv:
       return SolveWithFixedWeights(problem, MotivationWeights::DiversityOnly(),
-                                   seed, swap);
+                                   seed, swap, threads);
     case StrategyKind::kHtaGreRel:
       return SolveWithFixedWeights(problem, MotivationWeights::RelevanceOnly(),
-                                   seed, swap);
+                                   seed, swap, threads);
     case StrategyKind::kRandom: {
       HTA_CHECK(rng != nullptr)
           << "random strategy needs an Rng";

@@ -24,10 +24,13 @@ std::string StrategyName(StrategyKind kind);
 
 /// Runs HTA-GRE after overriding every worker's weights to `weights`
 /// (the HTA-GRE-DIV / HTA-GRE-REL strategies). The input problem is not
-/// modified; workers are copied with replaced weights.
+/// modified; workers are copied with replaced weights and the task side
+/// (oracle included — also shared subset views and dense-matrix
+/// overrides) is reused as-is via HtaProblem::WithWorkers. `threads`
+/// caps the solve's pool draw (0 = full pool).
 Result<HtaSolveResult> SolveWithFixedWeights(
     const HtaProblem& problem, MotivationWeights weights, uint64_t seed = 42,
-    SwapMode swap = SwapMode::kRandom);
+    SwapMode swap = SwapMode::kRandom, size_t threads = 0);
 
 /// Uniform-random feasible assignment: tasks are shuffled and dealt
 /// round-robin up to Xmax each. Every returned assignment satisfies
@@ -47,10 +50,13 @@ Result<HtaSolveResult> SolveGreedyRelevance(const HtaProblem& problem);
 /// paper's randomized swap by default, or the derandomized best-of-two
 /// variant (used by the deployment service, where giving a worker a
 /// strictly better bundle is always preferable).
+/// `threads` caps the solve's draw from the global pool (0 = full
+/// pool, 1 = serial); every cap yields bit-identical assignments.
 Result<HtaSolveResult> SolveWithStrategy(const HtaProblem& problem,
                                          StrategyKind kind, uint64_t seed,
                                          Rng* rng,
-                                         SwapMode swap = SwapMode::kRandom);
+                                         SwapMode swap = SwapMode::kRandom,
+                                         size_t threads = 0);
 
 }  // namespace hta
 

@@ -56,6 +56,17 @@ Result<TaskDistanceOracle> TaskDistanceOracle::Precomputed(
   return oracle;
 }
 
+TaskDistanceOracle TaskDistanceOracle::FromSharedCache(
+    const CatalogSubsetView* view) {
+  HTA_CHECK(view != nullptr);
+  return TaskDistanceOracle(view);
+}
+
+PackedSetMatrix TaskDistanceOracle::PackedRows() const {
+  if (view_ != nullptr) return view_->GatherPackedRows();
+  return PackedSetMatrix::FromTasks(*tasks_);
+}
+
 Result<TaskDistanceOracle> TaskDistanceOracle::FromDenseMatrix(
     const std::vector<Task>* tasks, DistanceKind kind,
     const std::vector<double>& matrix) {

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/catalog_cache.h"
 #include "core/distance.h"
 #include "core/packed_set.h"
 #include "core/task.h"
@@ -14,12 +15,17 @@ namespace hta {
 /// Answers pairwise-task-diversity queries d(t_k, t_l) over a fixed task
 /// set — the (implicit) matrix B of the MAXQAP mapping (Eq. 5).
 ///
-/// Two modes:
+/// Three modes:
 ///  * on-the-fly  — each query recomputes the distance (O(R/64) popcounts);
 ///                  zero memory, right choice for |T| in the thousands.
 ///  * precomputed — a packed upper-triangular float cache, built once in
 ///                  O(|T|^2); right choice when the same pair is hit many
 ///                  times (brute-force solver, repeated objective evals).
+///  * shared subset — queries forward through a CatalogSubsetView into a
+///                  persistent CatalogCache (index remap, no Task
+///                  copies); the warm path of the online engine. Answers
+///                  are bit-identical to the on-the-fly mode over copies
+///                  of the subset's tasks.
 ///
 /// The oracle pins the DistanceKind so every component of one experiment
 /// agrees on the metric.
@@ -52,21 +58,57 @@ class TaskDistanceOracle {
       const std::vector<Task>* tasks, DistanceKind kind,
       const std::vector<double>& matrix);
 
+  /// Subset-view oracle: queries in local indices [0, view->size())
+  /// answer from the view's shared catalog cache. The view (and its
+  /// cache and catalog) is not owned and must outlive the oracle.
+  static TaskDistanceOracle FromSharedCache(const CatalogSubsetView* view);
+
   /// d(t_i, t_j). Requires i, j < task_count(). d(i, i) == 0.
   double operator()(TaskIndex i, TaskIndex j) const {
     if (i == j) return 0.0;
+    if (view_ != nullptr) return view_->Distance(i, j);
     if (!cache_.empty()) {
       return cache_[TriIndex(i, j)];
     }
     return PairwiseTaskDiversity(kind_, (*tasks_)[i], (*tasks_)[j]);
   }
 
-  size_t task_count() const { return tasks_->size(); }
+  size_t task_count() const {
+    return view_ != nullptr ? view_->size() : tasks_->size();
+  }
   DistanceKind kind() const { return kind_; }
   bool is_precomputed() const { return !cache_.empty(); }
-  const std::vector<Task>& tasks() const { return *tasks_; }
+  bool is_shared_subset() const { return view_ != nullptr; }
+
+  /// Whether the oracle owns a pointer to a materialized task vector
+  /// (false in shared-subset mode, where tasks live in the catalog).
+  bool has_local_tasks() const { return tasks_ != nullptr; }
+
+  /// The task behind index `i` — works in every mode (remaps through
+  /// the subset view when present).
+  const Task& task(TaskIndex i) const {
+    if (view_ != nullptr) return view_->task(i);
+    return (*tasks_)[i];
+  }
+
+  /// The materialized task vector. Only valid when has_local_tasks();
+  /// shared-subset consumers must go through task(i).
+  const std::vector<Task>& tasks() const {
+    HTA_CHECK(tasks_ != nullptr)
+        << "oracle has no local task vector (shared-subset mode)";
+    return *tasks_;
+  }
+
+  /// The oracle's task rows as a packed SoA matrix: gathered from the
+  /// shared catalog matrix in subset mode (O(|subset|) row copies),
+  /// packed from the task vector otherwise. Rows are bitwise identical
+  /// either way, so batched kernels run unchanged on top.
+  PackedSetMatrix PackedRows() const;
 
  private:
+  explicit TaskDistanceOracle(const CatalogSubsetView* view)
+      : tasks_(nullptr), kind_(view->kind()), view_(view) {}
+
   /// Packed index into the strict upper triangle (i < j).
   size_t TriIndex(TaskIndex i, TaskIndex j) const {
     if (i > j) std::swap(i, j);
@@ -79,7 +121,8 @@ class TaskDistanceOracle {
 
   const std::vector<Task>* tasks_;
   DistanceKind kind_;
-  std::vector<float> cache_;  // Empty in on-the-fly mode.
+  std::vector<float> cache_;             // Empty outside precomputed mode.
+  const CatalogSubsetView* view_ = nullptr;  // Null outside subset mode.
 };
 
 }  // namespace hta

@@ -20,6 +20,11 @@ double SetDiversity(const TaskBundle& bundle, const TaskDistanceOracle& d);
 double SetRelevance(const TaskBundle& bundle, const std::vector<Task>& tasks,
                     const Worker& worker, DistanceKind kind);
 
+/// Same, resolving tasks through the oracle (works in every oracle
+/// mode, including shared-subset views with no local task vector).
+double SetRelevance(const TaskBundle& bundle, const TaskDistanceOracle& d,
+                    const Worker& worker);
+
 /// Expected motivation of worker w for a bundle T' (Eq. 3):
 ///
 ///   motiv(T', w) = 2 * alpha_w * TD(T') + beta_w * (|T'| - 1) * TR(T', w)

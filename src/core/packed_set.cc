@@ -106,6 +106,20 @@ PackedSetMatrix PackedSetMatrix::FromWorkers(
   return m;
 }
 
+PackedSetMatrix PackedSetMatrix::GatherRows(const PackedSetMatrix& src,
+                                            const size_t* rows,
+                                            size_t count) {
+  PackedSetMatrix m = WithShape(count, src.universe_size());
+  HTA_DCHECK_EQ(m.row_blocks_, src.row_blocks_);
+  for (size_t r = 0; r < count; ++r) {
+    HTA_DCHECK_LT(rows[r], src.rows());
+    std::copy_n(src.row(rows[r]), src.row_blocks_,
+                m.blocks_.data() + r * m.row_blocks_);
+    m.counts_[r] = src.counts_[rows[r]];
+  }
+  return m;
+}
+
 PackedSetMatrix PackedSetMatrix::FromVectors(
     const std::vector<KeywordVector>& vecs) {
   PackedSetMatrix m =

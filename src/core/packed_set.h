@@ -56,6 +56,13 @@ class PackedSetMatrix {
   /// Packs arbitrary vectors; all must share one universe size.
   static PackedSetMatrix FromVectors(const std::vector<KeywordVector>& vecs);
 
+  /// Gathers `count` rows of `src` (row r = src row rows[r]) into a new
+  /// matrix. A straight block copy plus a count copy — bitwise identical
+  /// to re-packing the corresponding keyword vectors, with no popcount
+  /// recomputation. The substrate of zero-copy catalog subset views.
+  static PackedSetMatrix GatherRows(const PackedSetMatrix& src,
+                                    const size_t* rows, size_t count);
+
   size_t rows() const { return rows_; }
   size_t universe_size() const { return universe_size_; }
 

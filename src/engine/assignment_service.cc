@@ -1,8 +1,10 @@
 #include "engine/assignment_service.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "assign/auditor.h"
+#include "util/env.h"
 #include "util/timer.h"
 
 namespace hta {
@@ -16,12 +18,27 @@ AssignmentService::AssignmentService(const std::vector<Task>* catalog,
       rng_(options.seed) {
   HTA_CHECK(catalog != nullptr);
   HTA_CHECK_GE(options_.xmax, size_t{1});
+  options_.warm_cache =
+      options_.warm_cache && GetEnvIntOr("HTA_WARM_CACHE", 1) != 0;
+  if (options_.warm_cache) {
+    const int64_t env_bytes = GetEnvIntOr("HTA_WARM_CACHE_BYTES", -1);
+    if (env_bytes >= 0) {
+      options_.warm_distance_cache_bytes = static_cast<size_t>(env_bytes);
+    }
+    CatalogCache::Options cache_options;
+    cache_options.max_distance_cache_bytes =
+        options_.warm_distance_cache_bytes;
+    warm_cache_ = std::make_unique<CatalogCache>(catalog, options_.metric,
+                                                 cache_options);
+    estimator_.AttachSharedCache(warm_cache_.get());
+  }
 }
 
 uint64_t AssignmentService::RegisterWorker(const KeywordVector& interests) {
   const uint64_t id = next_worker_id_++;
-  Session session{Worker(id, interests, options_.prior), {}, 0, true, true,
-                  false, {}};
+  Session session{Worker(id, interests, options_.prior), {}, {}, 0, 0,
+                  true,   true,
+                  false,  {}};
   sessions_.emplace(id, std::move(session));
   RunIteration({id});
   return id;
@@ -30,7 +47,12 @@ uint64_t AssignmentService::RegisterWorker(const KeywordVector& interests) {
 std::vector<size_t> AssignmentService::Displayed(uint64_t worker_id) const {
   auto it = sessions_.find(worker_id);
   if (it == sessions_.end()) return {};
-  return it->second.displayed;
+  std::vector<size_t> out;
+  out.reserve(it->second.displayed_live);
+  for (size_t t : it->second.displayed) {
+    if (t != kNoTask) out.push_back(t);
+  }
+  return out;
 }
 
 Status AssignmentService::NotifyCompleted(uint64_t worker_id,
@@ -53,30 +75,34 @@ Status AssignmentService::NotifyCompleted(uint64_t worker_id,
   }
   estimator_.ObserveCompletion(worker_id, catalog_index, session.worker);
   session.worker.set_weights(estimator_.Estimate(worker_id));
-  auto pos = std::find(session.displayed.begin(), session.displayed.end(),
-                       catalog_index);
-  if (pos != session.displayed.end()) session.displayed.erase(pos);
+  auto pos = session.displayed_pos.find(catalog_index);
+  if (pos != session.displayed_pos.end()) {
+    session.displayed[pos->second] = kNoTask;
+    session.displayed_pos.erase(pos);
+    --session.displayed_live;
+  }
   ++session.completions_since_refresh;
 
   if (session.completions_since_refresh >=
           options_.refresh_after_completions ||
-      session.displayed.empty()) {
+      session.displayed_live == 0) {
     session.needs_refresh = true;
+    due_.insert(worker_id);
   }
   if (session.needs_refresh && pool_.available_count() > 0) {
     // Batch due workers until the configured pool size is reached (the
     // W^i sets of Problem 1); a worker with an exhausted display forces
-    // the iteration so nobody stalls.
-    std::vector<uint64_t> due;
+    // the iteration so nobody stalls. `due_` tracks exactly the
+    // active/needs_refresh sessions, already in ascending id order.
     bool urgent = false;
-    for (auto& [id, s] : sessions_) {
-      if (!s.active || !s.needs_refresh) continue;
-      due.push_back(id);
-      if (s.displayed.empty()) urgent = true;
+    for (uint64_t id : due_) {
+      if (sessions_.at(id).displayed_live == 0) {
+        urgent = true;
+        break;
+      }
     }
-    if (urgent || due.size() >= options_.min_batch_workers) {
-      std::sort(due.begin(), due.end());
-      RunIteration(due);
+    if (urgent || due_.size() >= options_.min_batch_workers) {
+      RunIteration(std::vector<uint64_t>(due_.begin(), due_.end()));
     }
   }
   return Status::OK();
@@ -87,13 +113,17 @@ void AssignmentService::Deregister(uint64_t worker_id) {
   if (it == sessions_.end()) return;
   Session& session = it->second;
   session.active = false;
+  due_.erase(worker_id);
   if (options_.recycle_on_leave) {
     for (size_t t : session.displayed) {
+      if (t == kNoTask) continue;
       // Displayed tasks are in Assigned state by construction.
       HTA_CHECK(pool_.Release(t).ok());
     }
   }
   session.displayed.clear();
+  session.displayed_pos.clear();
+  session.displayed_live = 0;
 }
 
 MotivationWeights AssignmentService::CurrentWeights(uint64_t worker_id) const {
@@ -106,15 +136,18 @@ void AssignmentService::AdvanceClock(double minute) {
 }
 
 std::vector<size_t> AssignmentService::DrawRandomAvailable(size_t count) {
-  std::vector<size_t> available = pool_.AvailableIndices();
-  const size_t take = std::min(count, available.size());
+  const size_t take = std::min(count, pool_.available_count());
   std::vector<size_t> picked_positions =
-      rng_.SampleWithoutReplacement(available.size(), take);
+      rng_.SampleWithoutReplacement(pool_.available_count(), take);
   std::vector<size_t> out;
   out.reserve(take);
+  // Resolve every rank against the same availability snapshot before
+  // marking anything: ranks refer to the pre-draw available set.
   for (size_t pos : picked_positions) {
-    out.push_back(available[pos]);
-    HTA_CHECK(pool_.MarkAssigned(available[pos]).ok());
+    out.push_back(pool_.SelectAvailable(pos));
+  }
+  for (size_t t : out) {
+    HTA_CHECK(pool_.MarkAssigned(t).ok());
   }
   return out;
 }
@@ -124,10 +157,16 @@ void AssignmentService::Display(Session* session, std::vector<size_t> bundle) {
   // random tasks to avoid relevance silos.
   std::vector<size_t> extras = DrawRandomAvailable(options_.extra_random_tasks);
   bundle.insert(bundle.end(), extras.begin(), extras.end());
-  session->displayed = bundle;
+  session->displayed = std::move(bundle);
+  session->displayed_pos.clear();
+  for (size_t i = 0; i < session->displayed.size(); ++i) {
+    session->displayed_pos.emplace(session->displayed[i], i);
+  }
+  session->displayed_live = session->displayed.size();
   for (size_t t : session->displayed) session->granted.insert(t);
   session->completions_since_refresh = 0;
   session->needs_refresh = false;
+  due_.erase(session->worker.id());
   if (options_.event_log != nullptr) {
     std::vector<uint64_t> task_ids;
     task_ids.reserve(session->displayed.size());
@@ -164,22 +203,22 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
 
   double motivation = 0.0;
   size_t solver_task_count = 0;
+  double setup_seconds = 0.0;
   if (!solve_ids.empty() && pool_.available_count() > 0) {
     // Build the iteration-local instance: a sample of available tasks
     // plus the due workers with their current weight estimates.
-    std::vector<size_t> available = pool_.AvailableIndices();
-    if (available.size() > options_.max_tasks_per_iteration) {
+    std::vector<size_t> available;
+    if (pool_.available_count() > options_.max_tasks_per_iteration) {
       std::vector<size_t> positions = rng_.SampleWithoutReplacement(
-          available.size(), options_.max_tasks_per_iteration);
+          pool_.available_count(), options_.max_tasks_per_iteration);
       std::sort(positions.begin(), positions.end());
-      std::vector<size_t> sampled;
-      sampled.reserve(positions.size());
-      for (size_t pos : positions) sampled.push_back(available[pos]);
-      available = std::move(sampled);
+      available.reserve(positions.size());
+      for (size_t pos : positions) {
+        available.push_back(pool_.SelectAvailable(pos));
+      }
+    } else {
+      available = pool_.AvailableIndices();
     }
-    std::vector<Task> local_tasks;
-    local_tasks.reserve(available.size());
-    for (size_t idx : available) local_tasks.push_back((*catalog_)[idx]);
     std::vector<Worker> local_workers;
     local_workers.reserve(solve_ids.size());
     for (uint64_t id : solve_ids) {
@@ -187,12 +226,31 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
       local_workers.emplace_back(id, session.worker.interests(),
                                  estimator_.Estimate(id));
     }
-    auto problem = HtaProblem::Create(&local_tasks, &local_workers,
-                                      options_.xmax, options_.metric);
+    // Warm path: a zero-copy view over the shared catalog cache; cold
+    // path: materialize the sampled tasks. Both produce bit-identical
+    // instances (kDice deployments rely on allow_non_metric, matching
+    // the estimator's unconditional use of the configured kind).
+    std::optional<CatalogSubsetView> view;
+    std::vector<Task> local_tasks;
+    auto make_problem = [&]() -> Result<HtaProblem> {
+      if (warm_cache_ != nullptr) {
+        view.emplace(warm_cache_.get(), std::vector<size_t>(available));
+        return HtaProblem::CreateFromSubset(&*view, &local_workers,
+                                            options_.xmax,
+                                            /*allow_non_metric=*/true);
+      }
+      local_tasks.reserve(available.size());
+      for (size_t idx : available) local_tasks.push_back((*catalog_)[idx]);
+      return HtaProblem::Create(&local_tasks, &local_workers, options_.xmax,
+                                options_.metric, /*allow_non_metric=*/true);
+    };
+    WallTimer setup_timer;
+    auto problem = make_problem();
     HTA_CHECK(problem.ok()) << problem.status();
+    setup_seconds = setup_timer.ElapsedSeconds();
     auto solved = SolveWithStrategy(*problem, options_.strategy,
                                     options_.seed + iterations_.size(), &rng_,
-                                    options_.swap);
+                                    options_.swap, options_.solver_threads);
     HTA_CHECK(solved.ok()) << solved.status();
     if (AuditEnabled()) {
       // Every strategy (HTA and baselines alike) must hand the engine a
@@ -204,7 +262,7 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
       HTA_CHECK(audit.ok()) << audit;
     }
     motivation = solved->stats.motivation;
-    solver_task_count = local_tasks.size();
+    solver_task_count = available.size();
 
     // Mark every solved bundle before drawing any random extras, so an
     // extra drawn for one worker cannot collide with a task the solver
@@ -231,6 +289,7 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
   record.worker_count = assigned_workers;
   record.task_count = solver_task_count;
   record.solve_seconds = timer.ElapsedSeconds();
+  record.setup_seconds = setup_seconds;
   record.motivation = motivation;
   iterations_.push_back(record);
 }

@@ -2,11 +2,14 @@
 #define HTA_ENGINE_ASSIGNMENT_SERVICE_H_
 
 #include <cstdint>
+#include <memory>
+#include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "assign/baselines.h"
+#include "core/catalog_cache.h"
 #include "engine/event_log.h"
 #include "engine/motivation_estimator.h"
 #include "engine/task_pool.h"
@@ -50,6 +53,28 @@ struct AssignmentServiceOptions {
   /// set, every displayed bundle and completion is recorded with the
   /// service clock, enabling offline replay via ReplayEstimates.
   EventLog* event_log = nullptr;
+  /// Warm catalog caches (default on): the service owns a CatalogCache
+  /// built once at construction — the packed catalog rows plus a
+  /// budget-gated persistent task-distance cache — and each iteration
+  /// solves over a zero-copy CatalogSubsetView instead of copying
+  /// sampled tasks into a fresh vector. Bit-identical to the cold path
+  /// at any HTA_THREADS. The HTA_WARM_CACHE environment variable
+  /// overrides (0 forces cold, anything else leaves this field as-is).
+  bool warm_cache = true;
+  /// Byte budget for the persistent catalog distance cache (doubles
+  /// over the strict upper triangle, lazily filled per tile). The
+  /// cache pays off when pairs are re-queried — small catalogs, long
+  /// deployments, the motivation estimator's bundle-prefix scans — and
+  /// loses when one-shot scattered queries trigger 128x128 tile fills
+  /// they never reuse, so the default budget (32 MB, catalogs up to
+  /// ~2.9k tasks) enables it only in the regime where it wins; larger
+  /// catalogs keep the packed rows and batched kernels but recompute
+  /// scalar distances per query. HTA_WARM_CACHE_BYTES overrides when
+  /// set (raise it for long deployments over big catalogs).
+  size_t warm_distance_cache_bytes = size_t{1} << 25;
+  /// Thread cap handed to every strategy solve (0 = full HTA_THREADS
+  /// pool, 1 = serial). Any cap yields bit-identical assignments.
+  size_t solver_threads = 0;
   uint64_t seed = 42;
 };
 
@@ -59,6 +84,11 @@ struct IterationRecord {
   size_t worker_count = 0;   ///< Workers (re)assigned in this iteration.
   size_t task_count = 0;     ///< Tasks offered to the solver.
   double solve_seconds = 0.0;
+  /// Problem-construction time within solve_seconds: materializing the
+  /// solver instance (task copies on the cold path; the zero-copy
+  /// subset-view remap on the warm path). Availability sampling is
+  /// excluded — it is identical in both modes.
+  double setup_seconds = 0.0;
   double motivation = 0.0;   ///< Objective value of the solved instance.
 };
 
@@ -108,10 +138,22 @@ class AssignmentService {
   const TaskPool& pool() const { return pool_; }
   const AssignmentServiceOptions& options() const { return options_; }
 
+  /// The warm catalog cache, or nullptr when running cold (options or
+  /// HTA_WARM_CACHE=0 disabled it).
+  const CatalogCache* warm_cache() const { return warm_cache_.get(); }
+
  private:
+  /// Tombstone marking a completed slot of a session's display list.
+  static constexpr size_t kNoTask = static_cast<size_t>(-1);
+
   struct Session {
     Worker worker;
-    std::vector<size_t> displayed;  // Catalog indices still displayed.
+    /// Catalog indices in display order; completed entries become
+    /// kNoTask tombstones so removal is O(1) via displayed_pos.
+    std::vector<size_t> displayed;
+    /// catalog index -> slot in `displayed` for live entries.
+    std::unordered_map<size_t, size_t> displayed_pos;
+    size_t displayed_live = 0;  ///< Non-tombstone entries.
     size_t completions_since_refresh = 0;
     bool active = true;
     bool cold = true;           // No strategy-solved bundle yet.
@@ -135,9 +177,17 @@ class AssignmentService {
   TaskPool pool_;
   MotivationEstimator estimator_;
   Rng rng_;
+  /// Warm per-catalog caches (packed rows + lazy distance triangle),
+  /// built once per service and shared by every iteration. Null when
+  /// the service runs cold.
+  std::unique_ptr<CatalogCache> warm_cache_;
   uint64_t next_worker_id_ = 1;
   double clock_minutes_ = 0.0;
   std::unordered_map<uint64_t, Session> sessions_;
+  /// Active workers with needs_refresh set — the batch candidates of
+  /// the next iteration, kept sorted so the due scan is O(|due|)
+  /// instead of a full sessions_ sweep per completion.
+  std::set<uint64_t> due_;
   std::vector<IterationRecord> iterations_;
 };
 

@@ -13,7 +13,15 @@ MotivationEstimator::MotivationEstimator(const std::vector<Task>* catalog,
   HTA_CHECK(catalog != nullptr);
 }
 
+void MotivationEstimator::AttachSharedCache(const CatalogCache* cache) {
+  HTA_CHECK(cache != nullptr);
+  HTA_CHECK(&cache->catalog() == catalog_);
+  HTA_CHECK(cache->kind() == kind_);
+  shared_cache_ = cache;
+}
+
 double MotivationEstimator::Distance(size_t a, size_t b) const {
+  if (shared_cache_ != nullptr) return shared_cache_->Distance(a, b);
   return PairwiseTaskDiversity(kind_, (*catalog_)[a], (*catalog_)[b]);
 }
 

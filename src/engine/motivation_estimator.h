@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/catalog_cache.h"
 #include "core/distance.h"
 #include "core/task.h"
 #include "core/worker.h"
@@ -35,6 +36,13 @@ class MotivationEstimator {
  public:
   MotivationEstimator(const std::vector<Task>* catalog, DistanceKind kind,
                       MotivationWeights prior = MotivationWeights{0.5, 0.5});
+
+  /// Routes the estimator's pairwise distances through a warm catalog
+  /// cache (must be over the same catalog and kind, and outlive the
+  /// estimator). Values stay bit-identical to the scalar path — the
+  /// cache replicates PairwiseTaskDiversity exactly — so attaching it
+  /// never changes an estimate, only the cost of producing it.
+  void AttachSharedCache(const CatalogCache* cache);
 
   /// Starts a new assigned bundle for the worker (called on each
   /// assignment iteration). Progress within a previous bundle is
@@ -73,6 +81,7 @@ class MotivationEstimator {
   const std::vector<Task>* catalog_;
   DistanceKind kind_;
   MotivationWeights prior_;
+  const CatalogCache* shared_cache_ = nullptr;
   std::unordered_map<uint64_t, WorkerState> states_;
 };
 

@@ -1,5 +1,6 @@
 #include "engine/task_pool.h"
 
+#include <bit>
 #include <string>
 
 #include "util/check.h"
@@ -8,8 +9,36 @@ namespace hta {
 
 TaskPool::TaskPool(const std::vector<Task>* catalog) : catalog_(catalog) {
   HTA_CHECK(catalog != nullptr);
-  states_.assign(catalog->size(), TaskState::kAvailable);
-  available_count_ = catalog->size();
+  const size_t n = catalog->size();
+  states_.assign(n, TaskState::kAvailable);
+  available_count_ = n;
+  const size_t words = (n + 63) / 64;
+  avail_words_.assign(words, ~uint64_t{0});
+  if (n % 64 != 0 && words > 0) {
+    // Clear the bits past the catalog in the last word.
+    avail_words_.back() = (uint64_t{1} << (n % 64)) - 1;
+  }
+  fenwick_.assign(words + 1, 0);
+  for (size_t w = 0; w < words; ++w) {
+    FenwickAdd(w, static_cast<int32_t>(std::popcount(avail_words_[w])));
+  }
+  fenwick_mask_ = words == 0 ? 0 : std::bit_floor(words);
+}
+
+void TaskPool::FenwickAdd(size_t word, int32_t delta) {
+  for (size_t i = word + 1; i < fenwick_.size(); i += i & (~i + 1)) {
+    fenwick_[i] += delta;
+  }
+}
+
+void TaskPool::SetAvailableBit(size_t catalog_index) {
+  avail_words_[catalog_index / 64] |= uint64_t{1} << (catalog_index % 64);
+  FenwickAdd(catalog_index / 64, 1);
+}
+
+void TaskPool::ClearAvailableBit(size_t catalog_index) {
+  avail_words_[catalog_index / 64] &= ~(uint64_t{1} << (catalog_index % 64));
+  FenwickAdd(catalog_index / 64, -1);
 }
 
 TaskState TaskPool::state(size_t catalog_index) const {
@@ -20,10 +49,34 @@ TaskState TaskPool::state(size_t catalog_index) const {
 std::vector<size_t> TaskPool::AvailableIndices() const {
   std::vector<size_t> out;
   out.reserve(available_count_);
-  for (size_t i = 0; i < states_.size(); ++i) {
-    if (states_[i] == TaskState::kAvailable) out.push_back(i);
+  for (size_t w = 0; w < avail_words_.size(); ++w) {
+    uint64_t bits = avail_words_[w];
+    while (bits != 0) {
+      out.push_back(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
   }
   return out;
+}
+
+size_t TaskPool::SelectAvailable(size_t rank) const {
+  HTA_CHECK_LT(rank, available_count_);
+  // Fenwick binary lifting: find the last word whose cumulative
+  // popcount is <= rank, leaving `rank` relative to that word.
+  size_t word = 0;
+  for (size_t step = fenwick_mask_; step > 0; step >>= 1) {
+    const size_t next = word + step;
+    if (next < fenwick_.size() &&
+        static_cast<size_t>(fenwick_[next]) <= rank) {
+      word = next;
+      rank -= static_cast<size_t>(fenwick_[next]);
+    }
+  }
+  // Select the rank-th set bit within the word.
+  uint64_t bits = avail_words_[word];
+  for (size_t k = 0; k < rank; ++k) bits &= bits - 1;
+  HTA_DCHECK_NE(bits, uint64_t{0});
+  return word * 64 + static_cast<size_t>(std::countr_zero(bits));
 }
 
 Status TaskPool::MarkAssigned(size_t catalog_index) {
@@ -33,6 +86,7 @@ Status TaskPool::MarkAssigned(size_t catalog_index) {
         "task " + std::to_string(catalog_index) + " is not available");
   }
   states_[catalog_index] = TaskState::kAssigned;
+  ClearAvailableBit(catalog_index);
   --available_count_;
   return Status::OK();
 }
@@ -55,6 +109,7 @@ Status TaskPool::Release(size_t catalog_index) {
         "task " + std::to_string(catalog_index) + " is not assigned");
   }
   states_[catalog_index] = TaskState::kAvailable;
+  SetAvailableBit(catalog_index);
   ++available_count_;
   return Status::OK();
 }

@@ -23,6 +23,13 @@ enum class TaskState : uint8_t {
 /// assigned-but-never-completed task stays out of circulation, matching
 /// the paper; `Release` puts such tasks back (used when a worker leaves
 /// mid-session and the deployment opts to recycle their leftovers).
+///
+/// The available set is maintained incrementally as a word bitset plus
+/// a Fenwick tree over per-word popcounts, so the engine's sampling
+/// never rebuilds an O(|catalog|) index vector per draw:
+/// SelectAvailable answers order statistics in O(log |catalog|) and
+/// AvailableIndices materializes a snapshot by scanning words (64 tasks
+/// per iteration step) rather than bytes.
 class TaskPool {
  public:
   explicit TaskPool(const std::vector<Task>* catalog);
@@ -34,6 +41,11 @@ class TaskPool {
 
   /// Indices of all currently available tasks, ascending.
   std::vector<size_t> AvailableIndices() const;
+
+  /// Catalog index of the `rank`-th available task in ascending order
+  /// (0-based; requires rank < available_count()). O(log |catalog|).
+  size_t SelectAvailable(size_t rank) const;
+
   size_t available_count() const { return available_count_; }
   size_t completed_count() const { return completed_count_; }
 
@@ -48,10 +60,17 @@ class TaskPool {
   Status Release(size_t catalog_index);
 
  private:
+  void SetAvailableBit(size_t catalog_index);
+  void ClearAvailableBit(size_t catalog_index);
+  void FenwickAdd(size_t word, int32_t delta);
+
   const std::vector<Task>* catalog_;
   std::vector<TaskState> states_;
   size_t available_count_ = 0;
   size_t completed_count_ = 0;
+  std::vector<uint64_t> avail_words_;  // Bit i set <=> task i available.
+  std::vector<int32_t> fenwick_;       // 1-based BIT over word popcounts.
+  size_t fenwick_mask_ = 0;            // Highest power of two <= word count.
 };
 
 }  // namespace hta

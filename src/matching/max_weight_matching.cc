@@ -66,8 +66,10 @@ std::vector<WeightedEdge> BuildDiversityEdges(const TaskDistanceOracle& d,
   // from its float cache, which the kernels must not bypass.
   const bool batched =
       backend == DistanceBackend::kBatched && !d.is_precomputed();
-  const PackedSetMatrix packed =
-      batched ? PackedSetMatrix::FromTasks(d.tasks()) : PackedSetMatrix();
+  // PackedRows packs the oracle's rows in local-vector mode and gathers
+  // them from the shared catalog matrix in subset mode; either way the
+  // rows (and thus the emitted edges) are bitwise identical.
+  const PackedSetMatrix packed = batched ? d.PackedRows() : PackedSetMatrix();
   // Padding vertices have zero weight to everything and can never
   // enter a maximum-weight matching built from positive edges, so only
   // real task pairs are scanned. Each fixed block of kEdgeRowGrain

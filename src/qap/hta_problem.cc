@@ -19,7 +19,10 @@ void HtaProblem::FillRelevanceTable(std::vector<double>* rel,
   }
   rel->resize(num_tasks * num_workers);
   if (backend == DistanceBackend::kBatched) {
-    const PackedSetMatrix packed_tasks = PackedSetMatrix::FromTasks(*tasks_);
+    // PackedRows gathers from the shared catalog matrix in subset mode
+    // (no re-packing) and packs the local vector otherwise; rows are
+    // bitwise identical either way.
+    const PackedSetMatrix packed_tasks = oracle_.PackedRows();
     const PackedSetMatrix packed_workers =
         PackedSetMatrix::FromWorkers(*workers_);
     RectangularRelevance(packed_tasks, packed_workers, oracle_.kind(),
@@ -33,23 +36,20 @@ void HtaProblem::FillRelevanceTable(std::vector<double>* rel,
         for (size_t t = t_begin; t < t_end; ++t) {
           for (size_t q = 0; q < num_workers; ++q) {
             out[t * num_workers + q] =
-                TaskRelevance(oracle_.kind(), (*tasks_)[t], (*workers_)[q]);
+                TaskRelevance(oracle_.kind(),
+                              oracle_.task(static_cast<TaskIndex>(t)),
+                              (*workers_)[q]);
           }
         }
       },
       max_threads);
 }
 
-Status HtaProblem::ValidateShape(const std::vector<Task>* tasks,
-                                 const std::vector<Worker>* workers,
-                                 size_t xmax) {
-  HTA_CHECK(tasks != nullptr);
+Status HtaProblem::ValidateWorkers(const std::vector<Worker>* workers,
+                                   size_t xmax) {
   HTA_CHECK(workers != nullptr);
   if (xmax == 0) {
     return Status::InvalidArgument("xmax must be >= 1");
-  }
-  if (tasks->empty()) {
-    return Status::InvalidArgument("HTA needs at least one task");
   }
   if (workers->empty()) {
     return Status::InvalidArgument("HTA needs at least one worker");
@@ -64,18 +64,57 @@ Status HtaProblem::ValidateShape(const std::vector<Task>* tasks,
   return Status::OK();
 }
 
-Result<HtaProblem> HtaProblem::Create(const std::vector<Task>* tasks,
-                                      const std::vector<Worker>* workers,
-                                      size_t xmax, DistanceKind kind,
-                                      bool allow_non_metric) {
-  HTA_RETURN_IF_ERROR(ValidateShape(tasks, workers, xmax));
+Status HtaProblem::ValidateShape(const std::vector<Task>* tasks,
+                                 const std::vector<Worker>* workers,
+                                 size_t xmax) {
+  HTA_CHECK(tasks != nullptr);
+  if (tasks->empty()) {
+    return Status::InvalidArgument("HTA needs at least one task");
+  }
+  return ValidateWorkers(workers, xmax);
+}
+
+namespace {
+
+Status CheckMetric(DistanceKind kind, bool allow_non_metric) {
   if (!IsMetric(kind) && !allow_non_metric) {
     return Status::FailedPrecondition(
         "distance kind '" + DistanceKindName(kind) +
         "' is not a metric; HTA approximation guarantees require the "
         "triangle inequality (pass allow_non_metric to override)");
   }
-  return HtaProblem(tasks, workers, xmax, TaskDistanceOracle(tasks, kind));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<HtaProblem> HtaProblem::Create(const std::vector<Task>* tasks,
+                                      const std::vector<Worker>* workers,
+                                      size_t xmax, DistanceKind kind,
+                                      bool allow_non_metric) {
+  HTA_RETURN_IF_ERROR(ValidateShape(tasks, workers, xmax));
+  HTA_RETURN_IF_ERROR(CheckMetric(kind, allow_non_metric));
+  return HtaProblem(workers, xmax, TaskDistanceOracle(tasks, kind));
+}
+
+Result<HtaProblem> HtaProblem::CreateFromSubset(
+    const CatalogSubsetView* view, const std::vector<Worker>* workers,
+    size_t xmax, bool allow_non_metric) {
+  HTA_CHECK(view != nullptr);
+  if (view->size() == 0) {
+    return Status::InvalidArgument("HTA needs at least one task");
+  }
+  HTA_RETURN_IF_ERROR(ValidateWorkers(workers, xmax));
+  HTA_RETURN_IF_ERROR(CheckMetric(view->kind(), allow_non_metric));
+  return HtaProblem(workers, xmax, TaskDistanceOracle::FromSharedCache(view));
+}
+
+HtaProblem HtaProblem::WithWorkers(const std::vector<Worker>* workers) const {
+  HTA_CHECK(workers != nullptr);
+  HTA_CHECK_EQ(workers->size(), workers_->size());
+  HtaProblem copy(workers, xmax_, oracle_);
+  copy.relevance_override_ = relevance_override_;
+  return copy;
 }
 
 Result<HtaProblem> HtaProblem::CreateWithMatrices(
@@ -98,7 +137,7 @@ Result<HtaProblem> HtaProblem::CreateWithMatrices(
       TaskDistanceOracle oracle,
       TaskDistanceOracle::FromDenseMatrix(tasks, DistanceKind::kJaccard,
                                           distances));
-  HtaProblem problem(tasks, workers, xmax, std::move(oracle));
+  HtaProblem problem(workers, xmax, std::move(oracle));
   problem.relevance_override_ = relevance;
   return problem;
 }

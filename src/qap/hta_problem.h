@@ -47,9 +47,38 @@ class HtaProblem {
       size_t xmax, const std::vector<double>& distances,
       const std::vector<double>& relevance);
 
-  const std::vector<Task>& tasks() const { return *tasks_; }
+  /// Builds a problem over a zero-copy catalog subset view (the warm
+  /// path of the online engine): no Task copies, distances and
+  /// relevance resolve through the view's shared CatalogCache. O(1) in
+  /// the subset size. The view (and its cache/catalog) must outlive the
+  /// problem. The metric is the view's kind. Validation matches
+  /// Create's.
+  static Result<HtaProblem> CreateFromSubset(const CatalogSubsetView* view,
+                                             const std::vector<Worker>* workers,
+                                             size_t xmax,
+                                             bool allow_non_metric = false);
+
+  /// A copy of this problem with the worker list replaced (same tasks,
+  /// same oracle — including a shared subset view or dense-matrix
+  /// override — same xmax). `workers` must outlive the copy and have
+  /// the original worker count; the fixed-weight baseline strategies
+  /// use this to re-solve under overridden weights without rebuilding
+  /// the task side.
+  HtaProblem WithWorkers(const std::vector<Worker>* workers) const;
+
+  /// The materialized task vector; only valid when has_local_tasks().
+  /// Subset-view problems expose tasks via task(i) instead.
+  const std::vector<Task>& tasks() const { return oracle_.tasks(); }
   const std::vector<Worker>& workers() const { return *workers_; }
-  size_t task_count() const { return tasks_->size(); }
+
+  /// The task behind index `t`, in every mode.
+  const Task& task(TaskIndex t) const { return oracle_.task(t); }
+
+  /// False when the problem was built from a CatalogSubsetView (no
+  /// local task vector; batched kernels gather rows via the oracle).
+  bool has_local_tasks() const { return oracle_.has_local_tasks(); }
+
+  size_t task_count() const { return oracle_.task_count(); }
   size_t worker_count() const { return workers_->size(); }
   size_t xmax() const { return xmax_; }
   DistanceKind distance_kind() const { return oracle_.kind(); }
@@ -76,21 +105,20 @@ class HtaProblem {
       return relevance_override_[static_cast<size_t>(task) * worker_count() +
                                  worker];
     }
-    return TaskRelevance(oracle_.kind(), (*tasks_)[task], (*workers_)[worker]);
+    return TaskRelevance(oracle_.kind(), oracle_.task(task),
+                         (*workers_)[worker]);
   }
 
  private:
-  HtaProblem(const std::vector<Task>* tasks, const std::vector<Worker>* workers,
-             size_t xmax, TaskDistanceOracle oracle)
-      : tasks_(tasks),
-        workers_(workers),
-        xmax_(xmax),
-        oracle_(std::move(oracle)) {}
+  HtaProblem(const std::vector<Worker>* workers, size_t xmax,
+             TaskDistanceOracle oracle)
+      : workers_(workers), xmax_(xmax), oracle_(std::move(oracle)) {}
 
   static Status ValidateShape(const std::vector<Task>* tasks,
                               const std::vector<Worker>* workers, size_t xmax);
+  static Status ValidateWorkers(const std::vector<Worker>* workers,
+                                size_t xmax);
 
-  const std::vector<Task>* tasks_;
   const std::vector<Worker>* workers_;
   size_t xmax_;
   TaskDistanceOracle oracle_;

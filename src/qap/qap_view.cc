@@ -93,9 +93,11 @@ DenseQapMatrices DenseQapMatrices::FromView(const QapView& view,
   // which the kernel must not bypass.
   const bool batched = backend == DistanceBackend::kBatched &&
                        !view.problem().oracle().is_precomputed();
-  const PackedSetMatrix packed =
-      batched ? PackedSetMatrix::FromTasks(view.problem().tasks())
-              : PackedSetMatrix();
+  // PackedRows works in both local-vector and shared-subset modes
+  // (gathered rows are bitwise identical to re-packed ones).
+  const PackedSetMatrix packed = batched
+                                     ? view.problem().oracle().PackedRows()
+                                     : PackedSetMatrix();
   const size_t tasks = view.task_count();
   ParallelFor(
       0, m.n, /*grain=*/8,

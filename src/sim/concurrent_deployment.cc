@@ -157,6 +157,8 @@ DeploymentResult RunConcurrentDeployment(
       pooled_sum += static_cast<double>(record.worker_count);
       ++pooled_count;
     }
+    result.total_setup_seconds += record.setup_seconds;
+    result.total_solve_seconds += record.solve_seconds;
   }
   result.mean_workers_per_iteration =
       pooled_count > 0 ? pooled_sum / static_cast<double>(pooled_count) : 0.0;

@@ -29,6 +29,11 @@ struct DeploymentResult {
   double mean_workers_per_iteration = 0.0;  ///< Mean |W^i| over
                                             ///< solver-backed iterations.
   double max_concurrent_sessions = 0.0;     ///< Peak simultaneous workers.
+  /// Summed problem-construction time across iterations (the part the
+  /// service's warm catalog cache amortizes; see IterationRecord).
+  double total_setup_seconds = 0.0;
+  /// Summed end-to-end iteration time (setup + solve + bookkeeping).
+  double total_solve_seconds = 0.0;
 };
 
 /// Runs a concurrent deployment: each worker in `workers` arrives at a

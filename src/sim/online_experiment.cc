@@ -141,6 +141,11 @@ OnlineExperimentResult RunOnlineExperiment(
         BuildCurves(kind, sessions, options.session.max_minutes);
     curves.mean_alpha_estimate_end =
         alpha_count > 0 ? alpha_sum / static_cast<double>(alpha_count) : 0.0;
+    curves.service_iterations = service.iteration_count();
+    for (const IterationRecord& record : service.iterations()) {
+      curves.total_setup_seconds += record.setup_seconds;
+      curves.total_solve_seconds += record.solve_seconds;
+    }
     result.curves.push_back(std::move(curves));
   }
   return result;

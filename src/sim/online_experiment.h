@@ -13,7 +13,12 @@ namespace hta {
 
 /// Configuration of the online-deployment reproduction (Section V-C /
 /// Fig. 5). Defaults follow the paper: 20 work sessions per strategy,
-/// 30-minute sessions, Xmax = 15 with 5 extra random tasks.
+/// 30-minute sessions, Xmax = 15 with 5 extra random tasks. The
+/// embedded service runs with its warm catalog cache on by default
+/// (see AssignmentServiceOptions::warm_cache) — bit-identical curves
+/// to the cold path, with per-iteration setup amortized to the subset
+/// remap; set service.warm_cache = false (or HTA_WARM_CACHE=0) to
+/// force the cold reference path.
 struct OnlineExperimentOptions {
   std::vector<StrategyKind> strategies = {
       StrategyKind::kHtaGre, StrategyKind::kHtaGreRel,
@@ -67,6 +72,11 @@ struct StrategyCurves {
   std::vector<double> tasks_per_session;
   std::vector<double> session_duration_minutes;
   double mean_alpha_estimate_end = 0.0;  ///< Final alpha estimates (adaptive).
+
+  // Service-side cost accounting for this strategy's deployment.
+  size_t service_iterations = 0;        ///< Assignment iterations run.
+  double total_setup_seconds = 0.0;     ///< Summed problem-construction time.
+  double total_solve_seconds = 0.0;     ///< Summed iteration time.
 };
 
 /// Full experiment output.

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.h"
+
 namespace hta {
 namespace {
 
@@ -71,6 +73,58 @@ TEST(TaskPoolTest, AvailableIndicesSkipsAssignedAndCompleted) {
   ASSERT_TRUE(pool.MarkCompleted(3).ok());
   const std::vector<size_t> available = pool.AvailableIndices();
   EXPECT_EQ(available, (std::vector<size_t>{0, 2}));
+}
+
+TEST(TaskPoolTest, SelectAvailableIsTheRankthAvailableIndex) {
+  const auto catalog = MakeCatalog(5);
+  TaskPool pool(&catalog);
+  ASSERT_TRUE(pool.MarkAssigned(0).ok());
+  ASSERT_TRUE(pool.MarkAssigned(3).ok());
+  // Available: {1, 2, 4}.
+  EXPECT_EQ(pool.SelectAvailable(0), 1u);
+  EXPECT_EQ(pool.SelectAvailable(1), 2u);
+  EXPECT_EQ(pool.SelectAvailable(2), 4u);
+  ASSERT_TRUE(pool.Release(3).ok());
+  EXPECT_EQ(pool.SelectAvailable(2), 3u);  // {1, 2, 3, 4} now.
+}
+
+TEST(TaskPoolTest, SelectAvailableMatchesAvailableIndicesUnderChurn) {
+  // Sizes straddling word and Fenwick boundaries.
+  for (const size_t n : {1ul, 63ul, 64ul, 65ul, 200ul, 257ul}) {
+    const auto catalog = MakeCatalog(n);
+    TaskPool pool(&catalog);
+    Rng rng(n);
+    for (size_t step = 0; step < 3 * n; ++step) {
+      const size_t idx = rng.NextBounded(n);
+      switch (pool.state(idx)) {
+        case TaskState::kAvailable:
+          ASSERT_TRUE(pool.MarkAssigned(idx).ok());
+          break;
+        case TaskState::kAssigned:
+          if (step % 2 == 0) {
+            ASSERT_TRUE(pool.MarkCompleted(idx).ok());
+          } else {
+            ASSERT_TRUE(pool.Release(idx).ok());
+          }
+          break;
+        case TaskState::kCompleted:
+          break;
+      }
+      const std::vector<size_t> available = pool.AvailableIndices();
+      ASSERT_EQ(available.size(), pool.available_count());
+      for (size_t rank = 0; rank < available.size(); ++rank) {
+        ASSERT_EQ(pool.SelectAvailable(rank), available[rank])
+            << "n=" << n << " step=" << step << " rank=" << rank;
+      }
+    }
+  }
+}
+
+TEST(TaskPoolDeathTest, SelectAvailableOutOfRangeRankAborts) {
+  const auto catalog = MakeCatalog(3);
+  TaskPool pool(&catalog);
+  ASSERT_TRUE(pool.MarkAssigned(1).ok());
+  EXPECT_DEATH({ (void)pool.SelectAvailable(2); }, "CHECK failed");
 }
 
 TEST(TaskPoolDeathTest, OutOfRangeIndexAborts) {
