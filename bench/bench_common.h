@@ -13,6 +13,8 @@
 #include "sim/worker_gen.h"
 #include "util/check.h"
 #include "util/env.h"
+#include "util/json.h"
+#include "util/metrics.h"
 
 namespace hta::bench {
 
@@ -56,23 +58,14 @@ inline void PrintBanner(const char* title, const char* paper_ref) {
             << "  (set HTA_BENCH_SCALE=smoke|default|paper)\n\n";
 }
 
-/// JSON fragment for a numeric param value.
-inline std::string JsonNum(double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
+/// JSON fragment for a numeric param value. NaN/Inf have no JSON
+/// representation and serialize as null (util/json.h).
+inline std::string JsonNum(double v) { return JsonNumber(v); }
 
-/// JSON fragment for a string param value (quoted and escaped).
-inline std::string JsonStr(const std::string& s) {
-  std::string out = "\"";
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    out.push_back(c);
-  }
-  out.push_back('"');
-  return out;
-}
+/// JSON fragment for a string param value (quoted, fully escaped —
+/// including control characters, which a backslash-only escape pass
+/// used to emit verbatim and thereby corrupt the record).
+inline std::string JsonStr(const std::string& s) { return JsonQuote(s); }
 
 /// The thread count the global pool actually runs with: HTA_THREADS
 /// when set, otherwise the hardware concurrency (what util/parallel.h
@@ -92,7 +85,9 @@ inline int ResolvedBenchThreads() {
 /// when unset) and `hardware_concurrency` the machine's parallelism, so
 /// records written in different environments stay comparable. No-op
 /// when the variable is unset. Param values are raw JSON fragments —
-/// build them with JsonNum / JsonStr.
+/// build them with JsonNum / JsonStr. With HTA_METRICS=1 the record
+/// additionally carries a "metrics" object: the full registry snapshot
+/// at append time (metrics::SnapshotJson()).
 inline void AppendBenchJson(
     const std::string& bench,
     const std::vector<std::pair<std::string, std::string>>& params,
@@ -110,7 +105,11 @@ inline void AppendBenchJson(
     if (i > 0) out << ", ";
     out << JsonStr(params[i].first) << ": " << params[i].second;
   }
-  out << "}, \"seconds\": " << JsonNum(seconds) << "}\n";
+  out << "}, \"seconds\": " << JsonNum(seconds);
+  if (metrics::Enabled()) {
+    out << ", \"metrics\": " << metrics::SnapshotJson();
+  }
+  out << "}\n";
 }
 
 }  // namespace hta::bench

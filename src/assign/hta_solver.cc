@@ -6,8 +6,10 @@
 #include "assign/auditor.h"
 #include "matching/lsap.h"
 #include "matching/max_weight_matching.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace hta {
 
@@ -181,26 +183,43 @@ Assignment ExtractAssignment(const QapView& view,
 
 Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
                                 const HtaSolverOptions& options) {
+  static metrics::Counter solves("solver.solves");
+  static metrics::Counter tasks_solved("solver.tasks");
+  static metrics::Counter matched_pairs_total("solver.matched_pairs");
+  static metrics::Counter swaps_applied("solver.swaps_applied");
+  static metrics::Histogram matching_latency("solver.matching_seconds",
+                                             metrics::LatencyBucketsSeconds());
+  static metrics::Histogram lsap_latency("solver.lsap_seconds",
+                                         metrics::LatencyBucketsSeconds());
+  static metrics::Histogram solve_latency("solver.total_seconds",
+                                          metrics::LatencyBucketsSeconds());
+  trace::PhaseSpan solve_span("solver.solve", &solve_latency);
+  solves.Add();
   WallTimer total_timer;
   const QapView view(&problem);
   const size_t n = view.n();
+  tasks_solved.Add(view.task_count());
 
   // Phase 1 (Line 2): maximum-weight matching M_B over task diversity.
   WallTimer phase_timer;
-  std::vector<WeightedEdge> edges =
-      BuildDiversityEdges(problem.oracle(), options.threads, options.backend);
-  GraphMatching mb;
-  switch (options.matching) {
-    case MatchingMethod::kGreedy:
-      mb = GreedyMaxWeightMatching(n, std::move(edges), options.threads);
-      break;
-    case MatchingMethod::kPathGrowing:
-      mb = PathGrowingMatching(n, edges);
-      break;
-  }
   HtaSolveStats stats;
+  GraphMatching mb;
+  {
+    trace::PhaseSpan matching_span("solver.matching", &matching_latency);
+    std::vector<WeightedEdge> edges =
+        BuildDiversityEdges(problem.oracle(), options.threads, options.backend);
+    switch (options.matching) {
+      case MatchingMethod::kGreedy:
+        mb = GreedyMaxWeightMatching(n, std::move(edges), options.threads);
+        break;
+      case MatchingMethod::kPathGrowing:
+        mb = PathGrowingMatching(n, edges);
+        break;
+    }
+  }
   stats.matching_seconds = phase_timer.ElapsedSeconds();
   stats.matched_pairs = mb.edges.size();
+  matched_pairs_total.Add(mb.edges.size());
 
   // Lines 3-8: bM(t_k) = weight of the M_B edge covering t_k, else 0.
   std::vector<double> bm(n, 0.0);
@@ -217,35 +236,38 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
   // the O(1)-space on-the-fly oracle.
   phase_timer.Restart();
   LsapSolution lsap;
-  switch (options.lsap) {
-    case LsapMethod::kExactJv: {
-      const TabulatedAuxiliaryProfit profit(view, &bm, options.threads,
-                                            options.backend);
-      lsap = SolveLsapJv(n, profit);
-      break;
-    }
-    case LsapMethod::kGreedy: {
-      const std::vector<size_t> worker_cols = view.WorkerColumns();
-      if (options.backend == DistanceBackend::kBatched) {
-        // Even the single-scan greedy solve wins from tabulation when
-        // the table comes from one batched rectangular sweep instead of
-        // a scalar Relevance() per probed entry; profits stay
-        // bit-identical to the on-the-fly oracle's.
+  {
+    trace::PhaseSpan lsap_span("solver.lsap", &lsap_latency);
+    switch (options.lsap) {
+      case LsapMethod::kExactJv: {
         const TabulatedAuxiliaryProfit profit(view, &bm, options.threads,
                                               options.backend);
-        lsap = SolveLsapGreedy(n, profit, &worker_cols);
-      } else {
-        const AuxiliaryProfit profit(&view, &bm);
-        lsap = SolveLsapGreedy(n, profit, &worker_cols);
+        lsap = SolveLsapJv(n, profit);
+        break;
       }
-      break;
-    }
-    case LsapMethod::kExactStructured: {
-      const TabulatedAuxiliaryProfit profit(view, &bm, options.threads,
-                                            options.backend);
-      const std::vector<size_t> worker_cols = view.WorkerColumns();
-      lsap = SolveLsapStructured(n, profit, worker_cols);
-      break;
+      case LsapMethod::kGreedy: {
+        const std::vector<size_t> worker_cols = view.WorkerColumns();
+        if (options.backend == DistanceBackend::kBatched) {
+          // Even the single-scan greedy solve wins from tabulation when
+          // the table comes from one batched rectangular sweep instead
+          // of a scalar Relevance() per probed entry; profits stay
+          // bit-identical to the on-the-fly oracle's.
+          const TabulatedAuxiliaryProfit profit(view, &bm, options.threads,
+                                                options.backend);
+          lsap = SolveLsapGreedy(n, profit, &worker_cols);
+        } else {
+          const AuxiliaryProfit profit(&view, &bm);
+          lsap = SolveLsapGreedy(n, profit, &worker_cols);
+        }
+        break;
+      }
+      case LsapMethod::kExactStructured: {
+        const TabulatedAuxiliaryProfit profit(view, &bm, options.threads,
+                                              options.backend);
+        const std::vector<size_t> worker_cols = view.WorkerColumns();
+        lsap = SolveLsapStructured(n, profit, worker_cols);
+        break;
+      }
     }
   }
   stats.lsap_seconds = phase_timer.ElapsedSeconds();
@@ -265,7 +287,10 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
       break;
     case SwapMode::kRandom:
       for (const auto& [u, v] : mb.edges) {
-        if (rng.NextBool(0.5)) std::swap(perm[u], perm[v]);
+        if (rng.NextBool(0.5)) {
+          std::swap(perm[u], perm[v]);
+          swaps_applied.Add();
+        }
       }
       break;
     case SwapMode::kBestOfTwo: {
@@ -279,6 +304,7 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
             cliques.Move(v, u, qv);
           }
           std::swap(perm[u], perm[v]);
+          swaps_applied.Add();
         }
       }
       break;

@@ -5,11 +5,33 @@
 #include <cstddef>
 
 #include "assign/auditor.h"
+#include "util/metrics.h"
 #include "util/parallel.h"
+#include "util/trace.h"
 
 namespace hta {
 
 namespace {
+
+/// Local-search observability. Probe counters are incremented once per
+/// fixed scan block (never per thread), so totals are exact and
+/// independent of HTA_THREADS; pass/move totals are folded in from the
+/// result struct after the pass loop finishes.
+struct LocalSearchMetrics {
+  metrics::Counter runs{"local_search.runs"};
+  metrics::Counter passes{"local_search.passes"};
+  metrics::Counter moves_applied{"local_search.moves_applied"};
+  metrics::Counter replace_probes{"local_search.replace_probes"};
+  metrics::Counter exchange_probes{"local_search.exchange_probes"};
+  metrics::Counter insert_probes{"local_search.insert_probes"};
+  metrics::Histogram seconds{"local_search.seconds",
+                             metrics::LatencyBucketsSeconds()};
+};
+
+LocalSearchMetrics& Lsm() {
+  static LocalSearchMetrics* m = new LocalSearchMetrics();
+  return *m;
+}
 
 /// Strict improvement threshold shared by every scan mode.
 constexpr double kImprovementEps = 1e-12;
@@ -115,6 +137,7 @@ bool ReplacePassLegacy(const HtaProblem& problem, Assignment* assignment,
   for (WorkerIndex q = 0; q < worker_count; ++q) {
     TaskBundle& bundle = assignment->bundles[q];
     for (size_t pos = 0; pos < bundle.size(); ++pos) {
+      Lsm().replace_probes.Add(unassigned->size());
       for (size_t u = 0; u < unassigned->size(); ++u) {
         const double delta = eval->ReplaceDelta(q, pos, (*unassigned)[u]);
         if (delta > kImprovementEps) {
@@ -147,6 +170,7 @@ bool ReplacePassBest(const HtaProblem& problem,
       const BestCandidate best = ParallelReduce<BestCandidate>(
           0, unassigned->size(), kCandidateGrain, BestCandidate{},
           [&](size_t begin, size_t end) {
+            Lsm().replace_probes.Add(end - begin);
             BestCandidate local;
             for (size_t u = begin; u < end; ++u) {
               const double delta = eval->ReplaceDelta(q, pos, (*unassigned)[u]);
@@ -183,6 +207,7 @@ bool ExchangePassLegacy(const HtaProblem& problem, Assignment* assignment,
          ++q2) {
       TaskBundle& b1 = assignment->bundles[q1];
       TaskBundle& b2 = assignment->bundles[q2];
+      Lsm().exchange_probes.Add(b1.size() * b2.size());
       for (size_t p1 = 0; p1 < b1.size(); ++p1) {
         for (size_t p2 = 0; p2 < b2.size(); ++p2) {
           const double delta = eval->ExchangeDelta(q1, p1, q2, p2);
@@ -218,8 +243,10 @@ bool ExchangePassBest(const HtaProblem& problem,
           q1 + 1, worker_count, kWorkerScanGrain, BestExchange{},
           [&](size_t begin, size_t end) {
             BestExchange local;
+            size_t block_probes = 0;
             for (size_t q2 = begin; q2 < end; ++q2) {
               const size_t b2_size = assignment->bundles[q2].size();
+              block_probes += b2_size;
               for (size_t p2 = 0; p2 < b2_size; ++p2) {
                 const double delta = eval->ExchangeDelta(
                     q1, p1, static_cast<WorkerIndex>(q2), p2);
@@ -229,6 +256,7 @@ bool ExchangePassBest(const HtaProblem& problem,
                 }
               }
             }
+            Lsm().exchange_probes.Add(block_probes);
             return local;
           },
           [](BestExchange acc, BestExchange partial) {
@@ -276,6 +304,7 @@ bool InsertPass(const HtaProblem& problem, const LocalSearchOptions& options,
         const InsertBest best = ParallelReduce<InsertBest>(
             0, unassigned->size(), kCandidateGrain, InsertBest{},
             [&](size_t begin, size_t end) {
+              Lsm().insert_probes.Add(end - begin);
               InsertBest local;
               for (size_t u = begin; u < end; ++u) {
                 const double delta = eval->InsertDelta(q, (*unassigned)[u]);
@@ -292,6 +321,7 @@ bool InsertPass(const HtaProblem& problem, const LocalSearchOptions& options,
         best_delta = best.delta;
         best_u = best.index;
       } else {
+        Lsm().insert_probes.Add(unassigned->size());
         for (size_t u = 0; u < unassigned->size(); ++u) {
           const double delta = eval->InsertDelta(q, (*unassigned)[u]);
           if (StrictlyBetter(delta, best_delta)) {
@@ -517,6 +547,8 @@ Result<LocalSearchResult> ImproveAssignment(
     const HtaProblem& problem, const Assignment& initial,
     const LocalSearchOptions& options) {
   HTA_RETURN_IF_ERROR(ValidateAssignment(problem, initial));
+  Lsm().runs.Add();
+  trace::PhaseSpan improve_span("local_search.improve", &Lsm().seconds);
 
   LocalSearchResult result;
   result.assignment = initial;
@@ -544,6 +576,8 @@ Result<LocalSearchResult> ImproveAssignment(
                                   &unassigned, &eval, audit, &result));
   }
 
+  Lsm().passes.Add(result.passes);
+  Lsm().moves_applied.Add(result.improving_moves);
   result.motivation = TotalMotivation(problem, result.assignment);
   HTA_DCHECK(ValidateAssignment(problem, result.assignment).ok());
   return result;

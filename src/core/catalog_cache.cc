@@ -4,6 +4,22 @@
 
 namespace hta {
 
+namespace {
+
+metrics::Counter& TileFills() {
+  static metrics::Counter* counter =
+      new metrics::Counter("catalog_cache.tile_fills");
+  return *counter;
+}
+
+metrics::Counter& UncachedComputes() {
+  static metrics::Counter* counter =
+      new metrics::Counter("catalog_cache.uncached_computes");
+  return *counter;
+}
+
+}  // namespace
+
 CatalogCache::CatalogCache(const std::vector<Task>* catalog, DistanceKind kind)
     : CatalogCache(catalog, kind, Options{}) {}
 
@@ -35,6 +51,7 @@ size_t CatalogCache::filled_tiles() const {
 }
 
 double CatalogCache::ComputeDistance(size_t i, size_t j) const {
+  UncachedComputes().Add();
   return packed_internal::WithKind(kind_, [&](auto kind_tag) {
     constexpr DistanceKind K = decltype(kind_tag)::value;
     const size_t inter = packed_internal::IntersectionPopcount(
@@ -44,11 +61,12 @@ double CatalogCache::ComputeDistance(size_t i, size_t j) const {
   });
 }
 
-void CatalogCache::FillTile(size_t tile) const {
+bool CatalogCache::FillTile(size_t tile) const {
   std::lock_guard<std::mutex> lock(fill_mutex_);
   // Double-checked: another thread may have published the tile while
   // this one waited on the mutex.
-  if (tile_state_[tile].load(std::memory_order_relaxed) != 0) return;
+  if (tile_state_[tile].load(std::memory_order_relaxed) != 0) return false;
+  TileFills().Add();
   const size_t n = catalog_->size();
   const size_t row_lo = (tile / tile_cols_) * kTileRows;
   const size_t col_lo = (tile % tile_cols_) * kTileRows;
@@ -74,6 +92,7 @@ void CatalogCache::FillTile(size_t tile) const {
   });
   // Publish: every write above happens-before a reader's acquire load.
   tile_state_[tile].store(1, std::memory_order_release);
+  return true;
 }
 
 }  // namespace hta

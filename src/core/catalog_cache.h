@@ -12,8 +12,21 @@
 #include "core/packed_set.h"
 #include "core/task.h"
 #include "util/check.h"
+#include "util/metrics.h"
 
 namespace hta {
+
+namespace catalog_cache_metrics {
+
+/// Distance queries served straight from a published tile. Counted in
+/// the inline hot path, so the accessor is header-inline; the counter
+/// itself is a function-local static shared across TUs.
+inline metrics::Counter& TriHits() {
+  static metrics::Counter counter("catalog_cache.tri_hits");
+  return counter;
+}
+
+}  // namespace catalog_cache_metrics
 
 /// Warm per-catalog caches shared across assignment iterations.
 ///
@@ -100,7 +113,12 @@ class CatalogCache {
     if (tri_ != nullptr) {
       const size_t tile = (i / kTileRows) * tile_cols_ + j / kTileRows;
       if (tile_state_[tile].load(std::memory_order_acquire) == 0) {
-        FillTile(tile);
+        // Exactly one query performs the fill and counts as the miss
+        // (inside FillTile); racers that lose the fill are hits. Hit +
+        // fill totals are therefore exact whatever the interleaving.
+        if (!FillTile(tile)) catalog_cache_metrics::TriHits().Add();
+      } else {
+        catalog_cache_metrics::TriHits().Add();
       }
       return tri_[TriIndex(i, j)];
     }
@@ -119,7 +137,9 @@ class CatalogCache {
 
   /// Fills every upper-triangle entry of `tile` and publishes it.
   /// Serialized by fill_mutex_; rechecks the state under the lock.
-  void FillTile(size_t tile) const;
+  /// Returns true when this call performed the fill, false when another
+  /// thread published the tile first.
+  bool FillTile(size_t tile) const;
 
   const std::vector<Task>* catalog_;
   DistanceKind kind_;

@@ -5,9 +5,38 @@
 
 #include "assign/auditor.h"
 #include "util/env.h"
+#include "util/metrics.h"
 #include "util/timer.h"
+#include "util/trace.h"
 
 namespace hta {
+
+namespace {
+
+/// Engine-level observability: iteration counters plus pool/session
+/// gauges. The service is single-threaded by contract, so the gauges'
+/// last-write-wins semantics are exact.
+struct EngineMetrics {
+  metrics::Counter iterations{"engine.iterations"};
+  metrics::Counter workers_assigned{"engine.workers_assigned"};
+  metrics::Counter solver_tasks{"engine.solver_tasks"};
+  metrics::Counter completions{"engine.completions"};
+  metrics::Counter registrations{"engine.registrations"};
+  metrics::Counter deregistrations{"engine.deregistrations"};
+  metrics::Gauge pool_available{"engine.pool_available"};
+  metrics::Gauge active_sessions{"engine.active_sessions"};
+  metrics::Histogram setup_seconds{"engine.setup_seconds",
+                                   metrics::LatencyBucketsSeconds()};
+  metrics::Histogram solve_seconds{"engine.solve_seconds",
+                                   metrics::LatencyBucketsSeconds()};
+};
+
+EngineMetrics& Em() {
+  static EngineMetrics* m = new EngineMetrics();
+  return *m;
+}
+
+}  // namespace
 
 AssignmentService::AssignmentService(const std::vector<Task>* catalog,
                                      AssignmentServiceOptions options)
@@ -40,6 +69,12 @@ uint64_t AssignmentService::RegisterWorker(const KeywordVector& interests) {
                   true,   true,
                   false,  {}};
   sessions_.emplace(id, std::move(session));
+  ++active_sessions_;
+  Em().registrations.Add();
+  Em().active_sessions.Set(static_cast<int64_t>(active_sessions_));
+  if (options_.event_log != nullptr) {
+    options_.event_log->RecordRegistered(clock_minutes_, id);
+  }
   RunIteration({id});
   return id;
 }
@@ -69,6 +104,7 @@ Status AssignmentService::NotifyCompleted(uint64_t worker_id,
         " was never displayed to worker " + std::to_string(worker_id));
   }
   HTA_RETURN_IF_ERROR(pool_.MarkCompleted(catalog_index));
+  Em().completions.Add();
   if (options_.event_log != nullptr) {
     options_.event_log->RecordCompleted(clock_minutes_, worker_id,
                                         (*catalog_)[catalog_index].id());
@@ -112,7 +148,15 @@ void AssignmentService::Deregister(uint64_t worker_id) {
   auto it = sessions_.find(worker_id);
   if (it == sessions_.end()) return;
   Session& session = it->second;
-  session.active = false;
+  if (session.active) {
+    session.active = false;
+    --active_sessions_;
+    Em().deregistrations.Add();
+    Em().active_sessions.Set(static_cast<int64_t>(active_sessions_));
+    if (options_.event_log != nullptr) {
+      options_.event_log->RecordDeregistered(clock_minutes_, worker_id);
+    }
+  }
   due_.erase(worker_id);
   if (options_.recycle_on_leave) {
     for (size_t t : session.displayed) {
@@ -181,6 +225,7 @@ void AssignmentService::Display(Session* session, std::vector<size_t> bundle) {
 
 void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
   if (worker_ids.empty() || pool_.available_count() == 0) return;
+  trace::PhaseSpan iteration_span("engine.iteration");
   WallTimer timer;
 
   // Cold adaptive workers get a random bundle (the paper's cold-start
@@ -245,12 +290,18 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
                                 options_.metric, /*allow_non_metric=*/true);
     };
     WallTimer setup_timer;
+    std::optional<trace::PhaseSpan> setup_span;
+    setup_span.emplace("engine.setup", &Em().setup_seconds);
     auto problem = make_problem();
+    setup_span.reset();
     HTA_CHECK(problem.ok()) << problem.status();
     setup_seconds = setup_timer.ElapsedSeconds();
+    std::optional<trace::PhaseSpan> solve_span;
+    solve_span.emplace("engine.solve", &Em().solve_seconds);
     auto solved = SolveWithStrategy(*problem, options_.strategy,
                                     options_.seed + iterations_.size(), &rng_,
                                     options_.swap, options_.solver_threads);
+    solve_span.reset();
     HTA_CHECK(solved.ok()) << solved.status();
     if (AuditEnabled()) {
       // Every strategy (HTA and baselines alike) must hand the engine a
@@ -292,6 +343,10 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
   record.setup_seconds = setup_seconds;
   record.motivation = motivation;
   iterations_.push_back(record);
+  Em().iterations.Add();
+  Em().workers_assigned.Add(assigned_workers);
+  Em().solver_tasks.Add(solver_task_count);
+  Em().pool_available.Set(static_cast<int64_t>(pool_.available_count()));
 }
 
 }  // namespace hta

@@ -183,6 +183,7 @@ class AssignmentService {
   std::unique_ptr<CatalogCache> warm_cache_;
   uint64_t next_worker_id_ = 1;
   double clock_minutes_ = 0.0;
+  size_t active_sessions_ = 0;
   std::unordered_map<uint64_t, Session> sessions_;
   /// Active workers with needs_refresh set — the batch candidates of
   /// the next iteration, kept sorted so the due scan is O(|due|)

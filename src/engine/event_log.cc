@@ -33,6 +33,22 @@ void EventLog::RecordCompleted(double minute, uint64_t worker_id,
   Append(std::move(event));
 }
 
+void EventLog::RecordRegistered(double minute, uint64_t worker_id) {
+  LoggedEvent event;
+  event.minute = minute;
+  event.worker_id = worker_id;
+  event.kind = LoggedEvent::Kind::kRegistered;
+  Append(std::move(event));
+}
+
+void EventLog::RecordDeregistered(double minute, uint64_t worker_id) {
+  LoggedEvent event;
+  event.minute = minute;
+  event.worker_id = worker_id;
+  event.kind = LoggedEvent::Kind::kDeregistered;
+  Append(std::move(event));
+}
+
 Result<std::unordered_map<uint64_t, MotivationWeights>> ReplayEstimates(
     const EventLog& log, const std::vector<Task>& catalog,
     const std::vector<Worker>& workers, DistanceKind kind,
@@ -71,6 +87,12 @@ Result<std::unordered_map<uint64_t, MotivationWeights>> ReplayEstimates(
         HTA_CHECK_EQ(indices.size(), size_t{1});
         estimator.ObserveCompletion(event.worker_id, indices[0],
                                     *worker_it->second);
+        break;
+      case LoggedEvent::Kind::kRegistered:
+      case LoggedEvent::Kind::kDeregistered:
+        // Session boundaries carry no estimator state; they are logged
+        // for deployment timeline audits (and still validate the
+        // worker id above).
         break;
     }
     estimates[event.worker_id] = estimator.Estimate(event.worker_id);

@@ -19,8 +19,10 @@ namespace hta {
 /// re-derived under a different metric.
 struct LoggedEvent {
   enum class Kind : uint8_t {
-    kDisplayed,   ///< A bundle was displayed to the worker.
-    kCompleted,   ///< The worker completed one task.
+    kDisplayed,    ///< A bundle was displayed to the worker.
+    kCompleted,    ///< The worker completed one task.
+    kRegistered,   ///< The worker's session began (no task ids).
+    kDeregistered, ///< The worker's session ended (no task ids).
   };
 
   double minute = 0.0;
@@ -38,6 +40,8 @@ class EventLog {
   void RecordDisplayed(double minute, uint64_t worker_id,
                        std::vector<uint64_t> bundle_task_ids);
   void RecordCompleted(double minute, uint64_t worker_id, uint64_t task_id);
+  void RecordRegistered(double minute, uint64_t worker_id);
+  void RecordDeregistered(double minute, uint64_t worker_id);
 
   const std::vector<LoggedEvent>& events() const { return events_; }
   size_t size() const { return events_.size(); }

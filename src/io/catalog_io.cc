@@ -224,11 +224,24 @@ Status SaveEventLogCsv(const EventLog& log, const std::string& path) {
       if (i > 0) ids += ';';
       ids += FmtInt(static_cast<long long>(event.task_ids[i]));
     }
+    std::string kind;
+    switch (event.kind) {
+      case LoggedEvent::Kind::kDisplayed:
+        kind = "displayed";
+        break;
+      case LoggedEvent::Kind::kCompleted:
+        kind = "completed";
+        break;
+      case LoggedEvent::Kind::kRegistered:
+        kind = "registered";
+        break;
+      case LoggedEvent::Kind::kDeregistered:
+        kind = "deregistered";
+        break;
+    }
     file.rows.push_back(
         {FmtDouble(event.minute, 6),
-         FmtInt(static_cast<long long>(event.worker_id)),
-         event.kind == LoggedEvent::Kind::kDisplayed ? "displayed"
-                                                     : "completed",
+         FmtInt(static_cast<long long>(event.worker_id)), std::move(kind),
          ids});
   }
   return WriteCsvFile(path, file);
@@ -260,6 +273,10 @@ Result<EventLog> LoadEventLogCsv(const std::string& path) {
             "completed event must reference exactly one task");
       }
       log.RecordCompleted(minute, static_cast<uint64_t>(worker), ids[0]);
+    } else if (row[2] == "registered") {
+      log.RecordRegistered(minute, static_cast<uint64_t>(worker));
+    } else if (row[2] == "deregistered") {
+      log.RecordDeregistered(minute, static_cast<uint64_t>(worker));
     } else {
       return Status::InvalidArgument("unknown event kind '" + row[2] + "'");
     }

@@ -4,13 +4,30 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace hta {
 
 namespace {
 
-enum class EventKind { kArrival, kTaskDone };
+/// Deployment observability: event-queue shape and session churn. The
+/// simulation loop is serial, so gauges are exact; counters are
+/// per-event and thus deterministic for a given seed.
+struct DeploymentMetrics {
+  metrics::Counter arrivals{"deployment.arrivals"};
+  metrics::Counter expirations{"deployment.expirations"};
+  metrics::Counter events_processed{"deployment.events_processed"};
+  metrics::Gauge queue_depth{"deployment.queue_depth"};
+  metrics::Gauge concurrent_sessions{"deployment.concurrent_sessions"};
+};
+
+DeploymentMetrics& Dm() {
+  static DeploymentMetrics* m = new DeploymentMetrics();
+  return *m;
+}
+
+enum class EventKind { kArrival, kTaskDone, kSessionExpired };
 
 struct Event {
   double minute;
@@ -65,23 +82,34 @@ DeploymentResult RunConcurrentDeployment(
   size_t peak_concurrent = 0;
 
   // Ends the session; records duration and frees the worker's slot.
+  // Every caller has already advanced the service clock to `minute`, so
+  // Deregister (and its audit-log record) lands at the same service
+  // time as the recorded session end.
   auto end_session = [&](size_t slot, double minute, bool voluntary) {
+    HTA_DCHECK_EQ(minute, service->clock_minutes());
     WorkerRun& run = runs[slot];
     if (!run.active) return;
     run.active = false;
     run.session.worker_id = run.service_id;
     run.session.left_voluntarily = voluntary;
+    run.session.arrival_minute = run.arrival_minute;
+    run.session.ended_minute = minute;
     run.session.duration_minutes = std::min(
         minute - run.arrival_minute, options.session.max_minutes);
     service->Deregister(run.service_id);
     result.sessions[slot] = run.session;
     result.deployment_minutes = std::max(result.deployment_minutes, minute);
     --concurrent;
+    Dm().concurrent_sessions.Set(static_cast<int64_t>(concurrent));
   };
 
-  // Picks the next task for the worker and schedules its completion; if
-  // nothing is displayed or the session cap would be crossed, ends the
-  // session instead.
+  // Picks the next task for the worker and schedules its completion.
+  // If nothing is displayed the session ends now; if the session cap
+  // would be crossed mid-task the task is not submitted and the worker
+  // idles out their HIT — the already-queued kSessionExpired event
+  // ends the session at the cap, once the service clock has actually
+  // advanced there. (Ending it here used to Deregister at a service
+  // clock earlier than the recorded session end.)
   auto schedule_next = [&](size_t slot, double minute) {
     WorkerRun& run = runs[slot];
     BehavioralWorker& worker = (*workers)[slot];
@@ -95,10 +123,7 @@ DeploymentResult RunConcurrentDeployment(
         worker.CompletionSeconds(chosen, displayed) / 60.0;
     const double done_at = minute + spent;
     if (done_at - run.arrival_minute > options.session.max_minutes) {
-      // The allotted time expires mid-task; the task is not submitted.
-      end_session(slot, run.arrival_minute + options.session.max_minutes,
-                  /*voluntary=*/false);
-      return;
+      return;  // Allotted time expires mid-task; wait for expiry event.
     }
     run.current_task = chosen;
     run.busy_until = done_at;
@@ -108,18 +133,35 @@ DeploymentResult RunConcurrentDeployment(
   while (!queue.empty()) {
     const Event event = queue.top();
     queue.pop();
+    Dm().events_processed.Add();
+    Dm().queue_depth.Set(static_cast<int64_t>(queue.size()));
     WorkerRun& run = runs[event.worker_slot];
     BehavioralWorker& worker = (*workers)[event.worker_slot];
 
     switch (event.kind) {
       case EventKind::kArrival: {
         service->AdvanceClock(event.minute);
+        Dm().arrivals.Add();
         run.service_id =
             service->RegisterWorker(worker.profile().interests());
         run.active = true;
         ++concurrent;
         peak_concurrent = std::max(peak_concurrent, concurrent);
+        Dm().concurrent_sessions.Set(static_cast<int64_t>(concurrent));
+        // The session's hard deadline is fixed at arrival; processing
+        // expiry as a queued event keeps Deregister on the same
+        // non-decreasing service clock as every other transition.
+        queue.push(Event{event.minute + options.session.max_minutes,
+                         event.worker_slot, EventKind::kSessionExpired,
+                         sequence++});
         schedule_next(event.worker_slot, event.minute);
+        break;
+      }
+      case EventKind::kSessionExpired: {
+        if (!run.active) break;
+        service->AdvanceClock(event.minute);
+        Dm().expirations.Add();
+        end_session(event.worker_slot, event.minute, /*voluntary=*/false);
         break;
       }
       case EventKind::kTaskDone: {
@@ -127,7 +169,8 @@ DeploymentResult RunConcurrentDeployment(
         service->AdvanceClock(event.minute);
         const size_t task = run.current_task;
         CompletionEvent completion;
-        completion.minute = event.minute - run.arrival_minute;
+        completion.session_minute = event.minute - run.arrival_minute;
+        completion.wall_minute = event.minute;
         completion.worker_id = run.service_id;
         completion.catalog_task = task;
         completion.questions =

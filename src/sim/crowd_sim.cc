@@ -48,7 +48,8 @@ SessionResult RunSession(AssignmentService* service, const Catalog& catalog,
     service->AdvanceClock(clock_origin + minutes);
 
     CompletionEvent event;
-    event.minute = minutes;
+    event.session_minute = minutes;
+    event.wall_minute = clock_origin + minutes;
     event.worker_id = worker_id;
     event.catalog_task = chosen;
     event.questions = static_cast<int>(catalog.questions_per_task[chosen]);
@@ -69,6 +70,11 @@ SessionResult RunSession(AssignmentService* service, const Catalog& catalog,
   // `minutes` already equals the cap when the allotted time expired;
   // it is smaller when the worker left or the platform ran dry.
   session.duration_minutes = minutes;
+  session.arrival_minute = clock_origin;
+  // The session ends at the last completion's clock; the cap-expiry
+  // sentinel above does not advance the service clock (no event was
+  // submitted at the deadline).
+  session.ended_minute = service->clock_minutes();
   service->Deregister(worker_id);
   return session;
 }

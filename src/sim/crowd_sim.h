@@ -13,7 +13,14 @@ namespace hta {
 
 /// One completed task within a session.
 struct CompletionEvent {
-  double minute = 0.0;       ///< Session-relative completion time.
+  /// Completion time relative to the session's start. Session-local
+  /// analyses (dropout curves, time-in-HIT binning) read this field.
+  double session_minute = 0.0;
+  /// Completion time on the service's wall clock — the deployment-
+  /// global, non-decreasing timeline. This (not session_minute) is the
+  /// timestamp that matches the service's audit EventLog, whose append
+  /// contract requires non-decreasing minutes across *all* workers.
+  double wall_minute = 0.0;
   uint64_t worker_id = 0;    ///< Service-assigned worker id.
   size_t catalog_task = 0;
   int questions = 0;
@@ -24,6 +31,11 @@ struct CompletionEvent {
 struct SessionResult {
   uint64_t worker_id = 0;
   double duration_minutes = 0.0;
+  /// Deployment wall-clock bounds of the session. `ended_minute` is the
+  /// service-clock time Deregister ran at (arrival + duration); for a
+  /// single RunSession the origin is the service clock at registration.
+  double arrival_minute = 0.0;
+  double ended_minute = 0.0;
   bool left_voluntarily = false;  ///< false = hit the session time cap.
   std::vector<CompletionEvent> events;
 

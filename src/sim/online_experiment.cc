@@ -38,7 +38,7 @@ StrategyCurves BuildCurves(StrategyKind kind,
     c.total_correct += s.questions_correct();
     for (const CompletionEvent& e : s.events) {
       const size_t bin = std::min(
-          bins - 1, static_cast<size_t>(std::ceil(e.minute)));
+          bins - 1, static_cast<size_t>(std::ceil(e.session_minute)));
       correct[bin] += e.correct;
       questions[bin] += e.questions;
       completed[bin] += 1.0;

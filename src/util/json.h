@@ -1,0 +1,28 @@
+#ifndef HTA_UTIL_JSON_H_
+#define HTA_UTIL_JSON_H_
+
+#include <string>
+
+namespace hta {
+
+/// Minimal JSON emission helpers shared by the bench JSON-lines writer
+/// and the metrics snapshot exporter. Emission only — this repo never
+/// parses JSON, it hands records to external tooling, so every fragment
+/// produced here must be strictly valid (RFC 8259): no bare NaN/Inf
+/// tokens, no raw control characters inside strings.
+
+/// Renders a double as a JSON number with round-trip precision (%.17g).
+/// NaN and ±Inf have no JSON representation; they render as `null` so a
+/// record with one bad value stays machine-readable instead of
+/// poisoning the whole line.
+std::string JsonNumber(double value);
+
+/// Renders `s` as a quoted JSON string: `"` and `\` are backslash-
+/// escaped, control characters become their two-character escapes
+/// (\n \r \t \b \f) or \u00XX, and everything else passes through
+/// byte-for-byte (UTF-8 payloads stay intact).
+std::string JsonQuote(const std::string& s);
+
+}  // namespace hta
+
+#endif  // HTA_UTIL_JSON_H_

@@ -1,0 +1,305 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/json.h"
+
+namespace hta::metrics {
+
+namespace internal {
+
+/// Sentinel meaning "no Set observed yet" for the gauge maximum.
+constexpr int64_t kNoGaugeMax = std::numeric_limits<int64_t>::min();
+
+struct Metric {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter state: kCounterStripes cache-line-padded stripes.
+  std::unique_ptr<Stripe[]> stripes;
+  /// Gauge state.
+  std::atomic<int64_t> gauge_value{0};
+  std::atomic<int64_t> gauge_max{kNoGaugeMax};
+  /// Histogram state: bounds.size() + 1 buckets (last = overflow).
+  std::vector<double> bounds;
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets;
+  std::atomic<uint64_t> hist_count{0};
+  std::atomic<double> hist_sum{0.0};
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::kNoGaugeMax;
+using internal::Metric;
+
+/// The registry proper. Registration is rare (static-init time) and
+/// snapshotting is cold, so one mutex guards the metric list; hot-path
+/// increments touch only the per-metric atomics, never the lock
+/// (handles hold stable Metric pointers).
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<Metric>> metrics;
+  std::unordered_map<std::string, Metric*> by_name;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: outlives exit.
+  return *registry;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{GetEnvIntOr("HTA_METRICS", 0) != 0};
+  return flag;
+}
+
+/// Lock-free double accumulation (std::atomic<double>::fetch_add is
+/// C++20 but not yet universal across the toolchains CI builds with).
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double expected = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(expected, expected + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxInt64(std::atomic<int64_t>* target, int64_t v) {
+  int64_t expected = target->load(std::memory_order_relaxed);
+  while (expected < v && !target->compare_exchange_weak(
+                             expected, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void OverrideEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+size_t ThreadStripe() {
+  static std::atomic<size_t> next_thread{0};
+  thread_local const size_t stripe =
+      next_thread.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+  return stripe;
+}
+
+namespace internal {
+
+Metric* Register(const char* name, Kind kind,
+                 const std::vector<double>* bounds) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.by_name.find(name);
+  if (it != registry.by_name.end()) {
+    HTA_CHECK(it->second->kind == kind)
+        << "metric '" << name << "' re-registered with a different kind";
+    return it->second;
+  }
+  auto metric = std::make_unique<Metric>();
+  metric->name = name;
+  metric->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      metric->stripes = std::make_unique<Stripe[]>(kCounterStripes);
+      break;
+    case Kind::kGauge:
+      break;
+    case Kind::kHistogram: {
+      HTA_CHECK(bounds != nullptr && !bounds->empty())
+          << "histogram '" << name << "' needs bucket bounds";
+      HTA_CHECK(std::is_sorted(bounds->begin(), bounds->end()))
+          << "histogram '" << name << "' bounds must ascend";
+      metric->bounds = *bounds;
+      metric->buckets =
+          std::make_unique<std::atomic<uint64_t>[]>(bounds->size() + 1);
+      break;
+    }
+  }
+  Metric* raw = metric.get();
+  registry.metrics.push_back(std::move(metric));
+  registry.by_name.emplace(name, raw);
+  return raw;
+}
+
+void CounterAdd(Metric* metric, uint64_t n) {
+  metric->stripes[ThreadStripe()].value.fetch_add(n,
+                                                  std::memory_order_relaxed);
+}
+
+void GaugeSet(Metric* metric, int64_t v) {
+  metric->gauge_value.store(v, std::memory_order_relaxed);
+  AtomicMaxInt64(&metric->gauge_max, v);
+}
+
+void HistogramObserve(Metric* metric, double v) {
+  // lower_bound gives the first bound >= v: bounds are *inclusive*
+  // upper bounds (Prometheus "le" convention), as documented.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(metric->bounds.begin(), metric->bounds.end(), v) -
+      metric->bounds.begin());
+  metric->buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  metric->hist_count.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&metric->hist_sum, v);
+}
+
+}  // namespace internal
+
+Histogram::Histogram(const char* name, std::vector<double> bounds)
+    : metric_(internal::Register(name, internal::Kind::kHistogram, &bounds)) {}
+
+const std::vector<double>& LatencyBucketsSeconds() {
+  static const std::vector<double>* buckets = [] {
+    auto* b = new std::vector<double>();
+    for (double decade = 1e-6; decade < 1e3; decade *= 10.0) {
+      b->push_back(decade);
+      b->push_back(2.0 * decade);
+      b->push_back(5.0 * decade);
+    }
+    return b;
+  }();
+  return *buckets;
+}
+
+std::vector<MetricValue> Snapshot() {
+  Registry& registry = GetRegistry();
+  std::vector<MetricValue> out;
+  {
+    std::lock_guard<std::mutex> lock(registry.mu);
+    out.reserve(registry.metrics.size());
+    for (const auto& metric : registry.metrics) {
+      MetricValue v;
+      v.name = metric->name;
+      v.kind = metric->kind;
+      switch (metric->kind) {
+        case internal::Kind::kCounter: {
+          uint64_t total = 0;
+          for (size_t s = 0; s < kCounterStripes; ++s) {
+            total +=
+                metric->stripes[s].value.load(std::memory_order_relaxed);
+          }
+          v.count = total;
+          break;
+        }
+        case internal::Kind::kGauge: {
+          v.value = metric->gauge_value.load(std::memory_order_relaxed);
+          const int64_t max =
+              metric->gauge_max.load(std::memory_order_relaxed);
+          v.max = max == kNoGaugeMax ? v.value : max;
+          break;
+        }
+        case internal::Kind::kHistogram: {
+          v.count = metric->hist_count.load(std::memory_order_relaxed);
+          v.sum = metric->hist_sum.load(std::memory_order_relaxed);
+          v.bounds = metric->bounds;
+          v.bucket_counts.resize(metric->bounds.size() + 1);
+          for (size_t b = 0; b < v.bucket_counts.size(); ++b) {
+            v.bucket_counts[b] =
+                metric->buckets[b].load(std::memory_order_relaxed);
+          }
+          break;
+        }
+      }
+      out.push_back(std::move(v));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string SnapshotJson() {
+  const std::vector<MetricValue> snapshot = Snapshot();
+  std::string out = "{";
+  bool first = true;
+  for (const MetricValue& v : snapshot) {
+    if (!first) out += ", ";
+    first = false;
+    out += JsonQuote(v.name);
+    out += ": ";
+    switch (v.kind) {
+      case internal::Kind::kCounter:
+        out += std::to_string(v.count);
+        break;
+      case internal::Kind::kGauge:
+        out += "{\"value\": " + std::to_string(v.value) +
+               ", \"max\": " + std::to_string(v.max) + "}";
+        break;
+      case internal::Kind::kHistogram: {
+        out += "{\"count\": " + std::to_string(v.count) +
+               ", \"sum\": " + JsonNumber(v.sum) + ", \"bounds\": [";
+        for (size_t b = 0; b < v.bounds.size(); ++b) {
+          if (b > 0) out += ", ";
+          out += JsonNumber(v.bounds[b]);
+        }
+        out += "], \"buckets\": [";
+        for (size_t b = 0; b < v.bucket_counts.size(); ++b) {
+          if (b > 0) out += ", ";
+          out += std::to_string(v.bucket_counts[b]);
+        }
+        out += "]}";
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+std::string DeterministicDigest() {
+  std::string out;
+  for (const MetricValue& v : Snapshot()) {
+    out += v.name;
+    switch (v.kind) {
+      case internal::Kind::kCounter:
+        out += " counter " + std::to_string(v.count);
+        break;
+      case internal::Kind::kGauge:
+        out += " gauge " + std::to_string(v.value) + " max " +
+               std::to_string(v.max);
+        break;
+      case internal::Kind::kHistogram:
+        // Observation counts are deterministic; observed values (and
+        // hence bucket assignment and sums) are wall-clock dependent.
+        out += " histogram " + std::to_string(v.count);
+        break;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void ResetForTesting() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& metric : registry.metrics) {
+    switch (metric->kind) {
+      case internal::Kind::kCounter:
+        for (size_t s = 0; s < kCounterStripes; ++s) {
+          metric->stripes[s].value.store(0, std::memory_order_relaxed);
+        }
+        break;
+      case internal::Kind::kGauge:
+        metric->gauge_value.store(0, std::memory_order_relaxed);
+        metric->gauge_max.store(kNoGaugeMax, std::memory_order_relaxed);
+        break;
+      case internal::Kind::kHistogram:
+        for (size_t b = 0; b <= metric->bounds.size(); ++b) {
+          metric->buckets[b].store(0, std::memory_order_relaxed);
+        }
+        metric->hist_count.store(0, std::memory_order_relaxed);
+        metric->hist_sum.store(0.0, std::memory_order_relaxed);
+        break;
+    }
+  }
+}
+
+}  // namespace hta::metrics

@@ -1,0 +1,140 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "util/check.h"
+#include "util/env.h"
+#include "util/json.h"
+
+namespace hta::trace {
+
+namespace {
+
+struct SpanEvent {
+  const char* name;  // Static-storage string literal at every call site.
+  uint64_t start_us;
+  uint64_t dur_us;
+  uint32_t tid;
+};
+
+/// Per-thread span buffer. Only its owning thread appends; Flush reads
+/// under the registry lock after callers quiesce (the thread-pool
+/// join/handshake orders worker appends before a subsequent Flush).
+struct ThreadBuffer {
+  uint32_t tid = 0;
+  std::vector<SpanEvent> events;
+};
+
+struct TraceState {
+  std::mutex mu;
+  std::string path;                 // "" = disabled.
+  std::atomic<bool> enabled{false}; // Mirrors !path.empty().
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  uint32_t next_tid = 1;
+  std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+};
+
+TraceState& GetState() {
+  static TraceState* state = [] {
+    auto* s = new TraceState();  // Leaked: outlives exit handlers.
+    s->path = GetEnvOr("HTA_TRACE", "");
+    s->enabled.store(!s->path.empty(), std::memory_order_relaxed);
+    if (!s->path.empty()) std::atexit(Flush);
+    return s;
+  }();
+  return *state;
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    TraceState& state = GetState();
+    std::lock_guard<std::mutex> lock(state.mu);
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = state.next_tid++;
+    ThreadBuffer* raw = owned.get();
+    state.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+bool Enabled() {
+  return GetState().enabled.load(std::memory_order_relaxed);
+}
+
+std::string OutputPath() {
+  TraceState& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.path;
+}
+
+void OverridePathForTesting(const std::string& path) {
+  TraceState& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.path = path;
+  state.enabled.store(!path.empty(), std::memory_order_relaxed);
+  for (auto& buffer : state.buffers) buffer->events.clear();
+}
+
+uint64_t BufferedSpanCount() {
+  TraceState& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  uint64_t total = 0;
+  for (const auto& buffer : state.buffers) total += buffer->events.size();
+  return total;
+}
+
+void Flush() {
+  TraceState& state = GetState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.path.empty()) return;
+  std::ofstream out(state.path, std::ios::trunc);
+  if (!out.good()) {
+    // Exit-time flush must not abort the process over an unwritable
+    // path; drop the buffers and move on.
+    for (auto& buffer : state.buffers) buffer->events.clear();
+    return;
+  }
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (auto& buffer : state.buffers) {
+    for (const SpanEvent& e : buffer->events) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n{\"name\": " << JsonQuote(e.name)
+          << ", \"cat\": \"hta\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+          << e.tid << ", \"ts\": " << e.start_us << ", \"dur\": " << e.dur_us
+          << "}";
+    }
+    buffer->events.clear();
+  }
+  out << "\n]}\n";
+}
+
+namespace internal {
+
+uint64_t NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - GetState().origin)
+          .count());
+}
+
+void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us) {
+  ThreadBuffer& buffer = LocalBuffer();
+  buffer.events.push_back(
+      SpanEvent{name, start_us, end_us - start_us, buffer.tid});
+}
+
+}  // namespace internal
+
+}  // namespace hta::trace

@@ -1,0 +1,86 @@
+#ifndef HTA_UTIL_TRACE_H_
+#define HTA_UTIL_TRACE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/metrics.h"
+
+namespace hta::trace {
+
+/// Phase tracing: RAII spans collected into per-thread buffers and
+/// flushed as Chrome trace-event-format JSON (load the file in
+/// chrome://tracing or Perfetto). Gated on the HTA_TRACE environment
+/// variable naming the output path; when unset, constructing a
+/// PhaseSpan is one relaxed flag load and a branch.
+///
+/// Spans record wall time, so two runs never produce byte-identical
+/// trace files — but the *number* of spans per name is as deterministic
+/// as the instrumented code, which the observability test suite pins
+/// across thread counts.
+
+/// Whether spans are being recorded. First call latches HTA_TRACE;
+/// OverridePathForTesting replaces the latched path.
+bool Enabled();
+
+/// The output path spans will be flushed to ("" = disabled).
+std::string OutputPath();
+
+/// Replaces the trace output path ("" disables). Drops any buffered
+/// spans. Test/tool hook; callers must be quiescent.
+void OverridePathForTesting(const std::string& path);
+
+/// Writes every buffered span to OutputPath() as one complete JSON
+/// document ({"traceEvents": [...]}) and clears the buffers. Called
+/// automatically at process exit when tracing was enabled at startup;
+/// call explicitly after OverridePathForTesting. No-op when disabled.
+/// Not safe concurrently with span destruction on other threads.
+void Flush();
+
+/// Spans recorded since the last Flush (all threads; exact when
+/// quiescent).
+uint64_t BufferedSpanCount();
+
+namespace internal {
+void RecordSpan(const char* name, uint64_t start_us, uint64_t end_us);
+uint64_t NowMicros();
+}  // namespace internal
+
+/// RAII phase span. Emits a trace event over its lifetime when tracing
+/// is enabled, and (optionally) observes its duration in seconds into
+/// `histogram` when metrics are enabled. Near-zero cost when both
+/// layers are off: two relaxed flag loads at construction, one branch
+/// at destruction.
+class PhaseSpan {
+ public:
+  explicit PhaseSpan(const char* name,
+                     metrics::Histogram* histogram = nullptr)
+      : name_(name), histogram_(histogram) {
+    tracing_ = Enabled();
+    timing_ = tracing_ || (histogram_ != nullptr && metrics::Enabled());
+    if (timing_) start_us_ = internal::NowMicros();
+  }
+
+  PhaseSpan(const PhaseSpan&) = delete;
+  PhaseSpan& operator=(const PhaseSpan&) = delete;
+
+  ~PhaseSpan() {
+    if (!timing_) return;
+    const uint64_t end_us = internal::NowMicros();
+    if (tracing_) internal::RecordSpan(name_, start_us_, end_us);
+    if (histogram_ != nullptr) {
+      histogram_->Observe(static_cast<double>(end_us - start_us_) * 1e-6);
+    }
+  }
+
+ private:
+  const char* name_;
+  metrics::Histogram* histogram_;
+  uint64_t start_us_ = 0;
+  bool tracing_ = false;
+  bool timing_ = false;
+};
+
+}  // namespace hta::trace
+
+#endif  // HTA_UTIL_TRACE_H_

@@ -97,17 +97,24 @@ TEST_F(ServiceAuditTest, LogCapturesDisplaysAndCompletions) {
   AssignmentService service(&catalog_.tasks, options);
 
   const uint64_t id = service.RegisterWorker(catalog_.tasks[0].keywords());
-  EXPECT_EQ(log.size(), 1u);  // The first displayed bundle.
+  // Registration + the first displayed bundle.
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.events()[0].kind, LoggedEvent::Kind::kRegistered);
+  EXPECT_TRUE(log.events()[0].task_ids.empty());
   for (int k = 0; k < 3; ++k) {
     service.AdvanceClock(static_cast<double>(k + 1));
     const auto displayed = service.Displayed(id);
     ASSERT_FALSE(displayed.empty());
     ASSERT_TRUE(service.NotifyCompleted(id, displayed[0]).ok());
   }
-  // 1 display + 3 completions + 1 refresh display.
-  EXPECT_EQ(log.size(), 5u);
+  // Registration + 1 display + 3 completions + 1 refresh display.
+  EXPECT_EQ(log.size(), 6u);
   EXPECT_EQ(log.events().back().kind, LoggedEvent::Kind::kDisplayed);
-  EXPECT_EQ(log.events()[1].minute, 1.0);
+  EXPECT_EQ(log.events()[2].minute, 1.0);
+
+  service.Deregister(id);
+  EXPECT_EQ(log.events().back().kind, LoggedEvent::Kind::kDeregistered);
+  EXPECT_TRUE(log.events().back().task_ids.empty());
 }
 
 TEST_F(ServiceAuditTest, ReplayReproducesLiveEstimates) {

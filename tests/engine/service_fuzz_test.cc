@@ -143,9 +143,12 @@ TEST_P(ServiceFuzz, InvariantsHoldUnderRandomOperations) {
     prev_minute = e.minute;
     if (e.kind == LoggedEvent::Kind::kDisplayed) {
       ++display_events;
-    } else {
+    } else if (e.kind == LoggedEvent::Kind::kCompleted) {
       ++completion_events;
       EXPECT_EQ(e.task_ids.size(), 1u);
+    } else {
+      // Session boundaries carry no tasks.
+      EXPECT_TRUE(e.task_ids.empty());
     }
   }
   EXPECT_GE(display_events, 1u);

@@ -178,17 +178,19 @@ TEST_F(CatalogIoTest, WorkersRejectUnknownKeywords) {
 
 TEST_F(CatalogIoTest, EventLogRoundTrip) {
   EventLog log;
+  log.RecordRegistered(0.0, 1);
   log.RecordDisplayed(0.0, 1, {10, 11, 12});
   log.RecordCompleted(1.25, 1, 11);
   log.RecordDisplayed(2.5, 2, {13});
   log.RecordCompleted(3.75, 2, 13);
+  log.RecordDeregistered(4.0, 1);
   const std::string path = ::testing::TempDir() + "/hta_events.csv";
   ASSERT_TRUE(SaveEventLogCsv(log, path).ok());
   auto loaded = LoadEventLogCsv(path);
   std::remove(path.c_str());
   ASSERT_TRUE(loaded.ok());
-  ASSERT_EQ(loaded->size(), 4u);
-  for (size_t i = 0; i < 4; ++i) {
+  ASSERT_EQ(loaded->size(), 6u);
+  for (size_t i = 0; i < loaded->size(); ++i) {
     EXPECT_EQ(loaded->events()[i].kind, log.events()[i].kind);
     EXPECT_EQ(loaded->events()[i].worker_id, log.events()[i].worker_id);
     EXPECT_EQ(loaded->events()[i].task_ids, log.events()[i].task_ids);

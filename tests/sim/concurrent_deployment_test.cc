@@ -98,9 +98,12 @@ TEST(ConcurrentDeploymentTest, EventTimesAreSessionRelativeAndOrdered) {
   for (const SessionResult& s : result.sessions) {
     double prev = 0.0;
     for (const CompletionEvent& e : s.events) {
-      EXPECT_GE(e.minute, prev);
-      EXPECT_LE(e.minute, 8.0 + 1e-9);
-      prev = e.minute;
+      EXPECT_GE(e.session_minute, prev);
+      EXPECT_LE(e.session_minute, 8.0 + 1e-9);
+      prev = e.session_minute;
+      // The wall-clock stamp is the session-relative one shifted by the
+      // arrival time, so it can never precede it.
+      EXPECT_GE(e.wall_minute, e.session_minute - 1e-9);
     }
   }
 }

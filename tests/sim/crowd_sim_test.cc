@@ -55,9 +55,9 @@ TEST(CrowdSimTest, SessionCompletesTasksWithinTimeBudget) {
   // Events are time-ordered and within the session window.
   double prev = 0.0;
   for (const CompletionEvent& e : session.events) {
-    EXPECT_GE(e.minute, prev);
-    EXPECT_LE(e.minute, 30.0);
-    prev = e.minute;
+    EXPECT_GE(e.session_minute, prev);
+    EXPECT_LE(e.session_minute, 30.0);
+    prev = e.session_minute;
     EXPECT_GE(e.questions, 1);
     EXPECT_LE(e.correct, e.questions);
     EXPECT_GE(e.correct, 0);
@@ -119,7 +119,7 @@ TEST(CrowdSimTest, ShortSessionCapRespected) {
   const SessionResult session = RunSession(&service, catalog, &worker, config);
   EXPECT_LE(session.duration_minutes, 2.0 + 1e-9);
   for (const CompletionEvent& e : session.events) {
-    EXPECT_LE(e.minute, 2.0);
+    EXPECT_LE(e.session_minute, 2.0);
   }
 }
 

@@ -1,0 +1,60 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace hta {
+namespace {
+
+TEST(JsonNumberTest, FiniteValuesRoundTripAtFullPrecision) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.5), "1.5");
+  EXPECT_EQ(JsonNumber(-2.0), "-2");
+  // %.17g preserves every double bit-exactly through a parse. Parse
+  // with strtod: stod throws out_of_range on subnormals (ERANGE).
+  const double pi = 3.141592653589793;
+  EXPECT_EQ(std::strtod(JsonNumber(pi).c_str(), nullptr), pi);
+  const double tiny = 5e-324;  // Smallest subnormal.
+  EXPECT_EQ(std::strtod(JsonNumber(tiny).c_str(), nullptr), tiny);
+}
+
+TEST(JsonNumberTest, NonFiniteValuesSerializeAsNull) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonQuoteTest, PlainStringsAreQuoted) {
+  EXPECT_EQ(JsonQuote(""), "\"\"");
+  EXPECT_EQ(JsonQuote("hta-gre"), "\"hta-gre\"");
+}
+
+TEST(JsonQuoteTest, QuotesAndBackslashesEscaped) {
+  EXPECT_EQ(JsonQuote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonQuote("a\\b"), "\"a\\\\b\"");
+}
+
+TEST(JsonQuoteTest, NamedControlCharactersUseShortEscapes) {
+  EXPECT_EQ(JsonQuote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonQuote("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(JsonQuote("a\tb"), "\"a\\tb\"");
+  EXPECT_EQ(JsonQuote("a\bb"), "\"a\\bb\"");
+  EXPECT_EQ(JsonQuote("a\fb"), "\"a\\fb\"");
+}
+
+TEST(JsonQuoteTest, OtherControlCharactersUseUnicodeEscapes) {
+  EXPECT_EQ(JsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(JsonQuote(std::string(1, '\x1f')), "\"\\u001f\"");
+  // NUL embedded in a std::string is escaped, not truncated.
+  EXPECT_EQ(JsonQuote(std::string("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonQuoteTest, HighBytesPassThroughVerbatim) {
+  // UTF-8 multibyte sequences are valid JSON string content as-is.
+  EXPECT_EQ(JsonQuote("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+}  // namespace
+}  // namespace hta

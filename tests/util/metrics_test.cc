@@ -1,0 +1,171 @@
+#include "util/metrics.h"
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hta::metrics {
+namespace {
+
+/// Finds one metric by name in a snapshot; fails the test if missing.
+const MetricValue& Find(const std::vector<MetricValue>& snapshot,
+                        const std::string& name) {
+  for (const MetricValue& v : snapshot) {
+    if (v.name == name) return v;
+  }
+  ADD_FAILURE() << "metric not found: " << name;
+  static const MetricValue empty;
+  return empty;
+}
+
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    OverrideEnabled(true);
+    ResetForTesting();
+  }
+  void TearDown() override {
+    ResetForTesting();
+    OverrideEnabled(false);
+  }
+};
+
+TEST_F(MetricsTest, CounterAccumulates) {
+  static Counter counter("test.counter_accumulates");
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(Find(Snapshot(), "test.counter_accumulates").count, 42u);
+}
+
+TEST_F(MetricsTest, DisabledCounterRecordsNothing) {
+  static Counter counter("test.counter_disabled");
+  OverrideEnabled(false);
+  counter.Add(7);
+  OverrideEnabled(true);
+  EXPECT_EQ(Find(Snapshot(), "test.counter_disabled").count, 0u);
+}
+
+TEST_F(MetricsTest, ReRegisteringANameSharesTheSeries) {
+  Counter a("test.counter_shared");
+  Counter b("test.counter_shared");
+  a.Add(1);
+  b.Add(2);
+  EXPECT_EQ(Find(Snapshot(), "test.counter_shared").count, 3u);
+}
+
+TEST_F(MetricsTest, GaugeTracksValueAndMax) {
+  static Gauge gauge("test.gauge");
+  gauge.Set(5);
+  gauge.Set(9);
+  gauge.Set(3);
+  const MetricValue v = Find(Snapshot(), "test.gauge");
+  EXPECT_EQ(v.value, 3);
+  EXPECT_EQ(v.max, 9);
+}
+
+TEST_F(MetricsTest, GaugeMaxHandlesNegativeValues) {
+  static Gauge gauge("test.gauge_negative");
+  gauge.Set(-7);
+  gauge.Set(-3);
+  gauge.Set(-5);
+  const MetricValue v = Find(Snapshot(), "test.gauge_negative");
+  EXPECT_EQ(v.value, -5);
+  EXPECT_EQ(v.max, -3);
+}
+
+TEST_F(MetricsTest, HistogramBucketsObservations) {
+  static Histogram hist("test.histogram", {1.0, 10.0, 100.0});
+  hist.Observe(0.5);
+  hist.Observe(1.0);   // Bounds are inclusive upper bounds.
+  hist.Observe(5.0);
+  hist.Observe(1e6);   // Overflow bucket.
+  const MetricValue v = Find(Snapshot(), "test.histogram");
+  EXPECT_EQ(v.count, 4u);
+  ASSERT_EQ(v.bucket_counts.size(), 4u);
+  EXPECT_EQ(v.bucket_counts[0], 2u);
+  EXPECT_EQ(v.bucket_counts[1], 1u);
+  EXPECT_EQ(v.bucket_counts[2], 0u);
+  EXPECT_EQ(v.bucket_counts[3], 1u);
+  EXPECT_DOUBLE_EQ(v.sum, 0.5 + 1.0 + 5.0 + 1e6);
+}
+
+TEST_F(MetricsTest, ConcurrentCounterWritesSumExactly) {
+  // The striped counter must lose no increments under contention from
+  // more threads than stripes; this is also the TSan probe for the
+  // hot-path shard writes.
+  static Counter counter("test.counter_concurrent");
+  static Histogram hist("test.histogram_concurrent",
+                        LatencyBucketsSeconds());
+  constexpr size_t kThreads = 24;
+  constexpr size_t kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (size_t i = 0; i < kPerThread; ++i) {
+        counter.Add();
+        hist.Observe(1e-4);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<MetricValue> snapshot = Snapshot();
+  EXPECT_EQ(Find(snapshot, "test.counter_concurrent").count,
+            kThreads * kPerThread);
+  EXPECT_EQ(Find(snapshot, "test.histogram_concurrent").count,
+            kThreads * kPerThread);
+}
+
+TEST_F(MetricsTest, SnapshotJsonIsWellFormed) {
+  static Counter counter("test.json_counter");
+  static Gauge gauge("test.json_gauge");
+  counter.Add(3);
+  gauge.Set(-2);
+  const std::string json = SnapshotJson();
+  EXPECT_NE(json.find("\"test.json_counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\": {\"value\": -2, \"max\": -2}"),
+            std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(MetricsTest, DigestListsCountsButNotSums) {
+  static Counter counter("test.digest_counter");
+  static Histogram hist("test.digest_histogram", {1.0});
+  counter.Add(2);
+  hist.Observe(0.25);
+  const std::string digest = DeterministicDigest();
+  EXPECT_NE(digest.find("test.digest_counter counter 2"), std::string::npos);
+  EXPECT_NE(digest.find("test.digest_histogram histogram 1"),
+            std::string::npos);
+  // The wall-clock-dependent sum must not leak into the digest.
+  EXPECT_EQ(digest.find("0.25"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetZeroesEverything) {
+  static Counter counter("test.reset_counter");
+  static Gauge gauge("test.reset_gauge");
+  static Histogram hist("test.reset_histogram", {1.0});
+  counter.Add(5);
+  gauge.Set(5);
+  hist.Observe(0.5);
+  ResetForTesting();
+  const std::vector<MetricValue> snapshot = Snapshot();
+  EXPECT_EQ(Find(snapshot, "test.reset_counter").count, 0u);
+  EXPECT_EQ(Find(snapshot, "test.reset_gauge").value, 0);
+  EXPECT_EQ(Find(snapshot, "test.reset_gauge").max, 0);
+  EXPECT_EQ(Find(snapshot, "test.reset_histogram").count, 0u);
+}
+
+TEST_F(MetricsTest, ThreadStripeStaysInRange) {
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LT(ThreadStripe(), kCounterStripes);
+  }
+  std::thread other([] { EXPECT_LT(ThreadStripe(), kCounterStripes); });
+  other.join();
+}
+
+}  // namespace
+}  // namespace hta::metrics

@@ -1,0 +1,123 @@
+#include "util/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+
+namespace hta::trace {
+namespace {
+
+std::string TempTracePath(const char* tag) {
+  return ::testing::TempDir() + "/hta_trace_" + tag + ".json";
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { OverridePathForTesting(""); }
+};
+
+TEST_F(TraceTest, DisabledByDefaultAndSpansAreNoOps) {
+  OverridePathForTesting("");
+  EXPECT_FALSE(Enabled());
+  EXPECT_EQ(OutputPath(), "");
+  { PhaseSpan span("test.noop"); }
+  EXPECT_EQ(BufferedSpanCount(), 0u);
+  Flush();  // No-op, must not crash.
+}
+
+TEST_F(TraceTest, SpansBufferAndFlushAsChromeTraceJson) {
+  const std::string path = TempTracePath("flush");
+  std::remove(path.c_str());
+  OverridePathForTesting(path);
+  EXPECT_TRUE(Enabled());
+  EXPECT_EQ(OutputPath(), path);
+
+  { PhaseSpan span("phase.alpha"); }
+  { PhaseSpan span("phase.beta"); }
+  EXPECT_EQ(BufferedSpanCount(), 2u);
+
+  Flush();
+  EXPECT_EQ(BufferedSpanCount(), 0u);
+
+  const std::string json = ReadAll(path);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phase.alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"phase.beta\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST_F(TraceTest, SpansFromMultipleThreadsGetDistinctTids) {
+  const std::string path = TempTracePath("tids");
+  std::remove(path.c_str());
+  OverridePathForTesting(path);
+
+  { PhaseSpan span("phase.main"); }
+  std::thread other([] { PhaseSpan span("phase.worker"); });
+  other.join();
+  EXPECT_EQ(BufferedSpanCount(), 2u);
+  Flush();
+
+  const std::string json = ReadAll(path);
+  // Both spans present; at least two distinct tid values appear.
+  EXPECT_NE(json.find("\"phase.main\""), std::string::npos);
+  EXPECT_NE(json.find("\"phase.worker\""), std::string::npos);
+  const size_t first_tid = json.find("\"tid\": ");
+  ASSERT_NE(first_tid, std::string::npos);
+  const std::string tid_token =
+      json.substr(first_tid, json.find(',', first_tid) - first_tid);
+  size_t occurrences = 0;
+  for (size_t pos = json.find("\"tid\": "); pos != std::string::npos;
+       pos = json.find("\"tid\": ", pos + 1)) {
+    if (json.compare(pos, tid_token.size(), tid_token) == 0) ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u) << "expected distinct per-thread tids";
+}
+
+TEST_F(TraceTest, PhaseSpanFeedsHistogramWhenMetricsEnabled) {
+  // Force tracing off regardless of any ambient HTA_TRACE, so the span
+  // below times purely for the histogram.
+  OverridePathForTesting("");
+  metrics::OverrideEnabled(true);
+  metrics::ResetForTesting();
+  static metrics::Histogram hist("test.trace_span_seconds",
+                                 metrics::LatencyBucketsSeconds());
+  { PhaseSpan span("phase.timed", &hist); }
+  bool found = false;
+  for (const metrics::MetricValue& v : metrics::Snapshot()) {
+    if (v.name == "test.trace_span_seconds") {
+      EXPECT_EQ(v.count, 1u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  metrics::ResetForTesting();
+  metrics::OverrideEnabled(false);
+  // Tracing stayed off: timing ran for the histogram, no span buffered.
+  EXPECT_EQ(BufferedSpanCount(), 0u);
+}
+
+TEST_F(TraceTest, OverridePathDropsPreviouslyBufferedSpans) {
+  OverridePathForTesting(TempTracePath("drop_a"));
+  { PhaseSpan span("phase.stale"); }
+  EXPECT_EQ(BufferedSpanCount(), 1u);
+  OverridePathForTesting(TempTracePath("drop_b"));
+  EXPECT_EQ(BufferedSpanCount(), 0u);
+}
+
+}  // namespace
+}  // namespace hta::trace
