@@ -331,6 +331,41 @@ Result<HtaSolveResult> SolveHta(const HtaProblem& problem,
   return result;
 }
 
+Result<HtaSolveResult> SolveHtaWarmStart(const HtaProblem& problem,
+                                         const Assignment& seed,
+                                         const LocalSearchOptions& options) {
+  static metrics::Counter warm_solves("solver.warm_starts");
+  static metrics::Counter repaired_slots("solver.warm_repaired_slots");
+  static metrics::Histogram warm_latency("solver.warm_start_seconds",
+                                         metrics::LatencyBucketsSeconds());
+  trace::PhaseSpan warm_span("solver.warm_start", &warm_latency);
+  warm_solves.Add();
+  WallTimer total_timer;
+  if (AuditEnabled()) {
+    // The seed is a repaired carry-over built outside the solver; a
+    // structural violation here (duplicate task, overfull bundle) must
+    // surface before local search silently "fixes" the objective on top
+    // of it. The objective claim is checked after refinement.
+    HTA_RETURN_IF_ERROR(AssignmentAuditor(problem).CheckStructure(seed));
+  }
+  HTA_ASSIGN_OR_RETURN(LocalSearchResult refined,
+                       ImproveAssignment(problem, seed, options));
+  repaired_slots.Add(refined.inserts_applied);
+
+  HtaSolveResult result;
+  result.assignment = std::move(refined.assignment);
+  result.stats.motivation = refined.motivation;
+  result.stats.qap_objective = refined.motivation;
+  result.stats.warm_repaired_slots = refined.inserts_applied;
+  result.stats.warm_passes = refined.passes;
+  result.stats.total_seconds = total_timer.ElapsedSeconds();
+  if (AuditEnabled()) {
+    HTA_RETURN_IF_ERROR(AssignmentAuditor(problem).Audit(
+        result.assignment, result.stats.motivation));
+  }
+  return result;
+}
+
 Result<HtaSolveResult> SolveHtaApp(const HtaProblem& problem, uint64_t seed) {
   HtaSolverOptions options;
   options.lsap = LsapMethod::kExactJv;

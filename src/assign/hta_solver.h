@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "assign/assignment.h"
+#include "assign/local_search.h"
 #include "matching/max_weight_matching.h"
 #include "qap/qap_view.h"
 #include "util/result.h"
@@ -79,6 +80,11 @@ struct HtaSolveStats {
   /// that this solve achieved at least this fraction of the true
   /// optimum (typically far above the worst-case 1/4 and 1/8 factors).
   double certified_ratio = 0.0;
+  /// Warm-start diagnostics (zero for the matching+LSAP solvers):
+  /// bundle holes patched from the unassigned pool and local-search
+  /// passes run until the refined assignment stopped improving.
+  size_t warm_repaired_slots = 0;
+  size_t warm_passes = 0;
 };
 
 /// A solved instance: feasible assignment plus diagnostics.
@@ -102,6 +108,21 @@ Result<HtaSolveResult> SolveHtaApp(const HtaProblem& problem,
 /// 1/8-approximation.
 Result<HtaSolveResult> SolveHtaGre(const HtaProblem& problem,
                                    uint64_t seed = 42);
+
+/// Warm-started solve: skips matching and the auxiliary LSAP entirely
+/// and refines `seed` — a feasible partial assignment carried over from
+/// a previous instance (surviving bundles, holes already dropped) —
+/// with local search. Replace/exchange moves improve the carried
+/// bundles against the fresh unassigned tasks and the insert pass
+/// greedily patches spare capacity, so the result's objective is never
+/// below the seed's. Fails with the validator's error if `seed` is
+/// infeasible (also pre-checked by the AssignmentAuditor when
+/// HTA_AUDIT=1, and the final assignment is audited like every solve).
+/// No Theorem 4 certificate exists for this path:
+/// optimum_upper_bound/certified_ratio stay 0.
+Result<HtaSolveResult> SolveHtaWarmStart(const HtaProblem& problem,
+                                         const Assignment& seed,
+                                         const LocalSearchOptions& options);
 
 /// Converts a QAP permutation (task k -> vertex pi(k)) into bundles via
 /// Eq. 7, dropping padding tasks. Exposed for tests and the worked

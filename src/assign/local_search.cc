@@ -335,6 +335,7 @@ bool InsertPass(const HtaProblem& problem, const LocalSearchOptions& options,
       (*unassigned)[best_u] = unassigned->back();
       unassigned->pop_back();
       result->applied_delta += best_delta;
+      ++result->inserts_applied;
       if (best_delta > kImprovementEps) {
         ++result->improving_moves;
         improved = true;

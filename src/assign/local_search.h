@@ -81,6 +81,11 @@ struct LocalSearchResult {
   /// stale-delta detector for the incremental tables.
   double applied_delta = 0.0;
   size_t improving_moves = 0;
+  /// Applied insert moves, including the zero-delta capacity fills that
+  /// don't count as improving. For a warm-started solve seeded from a
+  /// partial carry-over assignment this is the number of bundle holes
+  /// patched from the fresh sample (engine.warm_start.repaired_slots).
+  size_t inserts_applied = 0;
   size_t passes = 0;             ///< Passes actually executed.
   bool reached_local_optimum = false;
 };

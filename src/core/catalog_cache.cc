@@ -41,6 +41,15 @@ CatalogCache::CatalogCache(const std::vector<Task>* catalog, DistanceKind kind,
   tile_state_ = std::make_unique<std::atomic<uint8_t>[]>(tile_count_);
 }
 
+void CatalogCache::FillRelevanceRow(const KeywordVector& interests,
+                                    double* out, size_t max_threads) const {
+  HTA_CHECK_EQ(interests.universe_size(), packed_.universe_size());
+  const PackedSetMatrix one = PackedSetMatrix::FromVectors({interests});
+  // rel[t * 1 + 0] = 1 - d(catalog row t, interests row 0): with a
+  // single b-row the rectangular kernel's output *is* the row.
+  RectangularRelevance(packed_, one, kind_, out, max_threads);
+}
+
 size_t CatalogCache::filled_tiles() const {
   if (tile_state_ == nullptr) return 0;
   size_t filled = 0;

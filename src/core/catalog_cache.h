@@ -102,6 +102,18 @@ class CatalogCache {
   size_t filled_tiles() const;
   size_t tile_count() const { return tile_count_; }
 
+  /// Fills out[t] = 1 - d(catalog[t], interests) for every catalog
+  /// task — one worker's full relevance row, the unit the engine's
+  /// SessionRelevanceCache computes once per registration and gathers
+  /// from on every later iteration. Runs the batched rectangular
+  /// relevance kernel over the already-packed catalog rows, so the
+  /// values are bit-identical to TaskRelevance (and to any
+  /// RectangularRelevance sweep over a subset of the catalog) at every
+  /// `max_threads` cap. `out` must hold catalog().size() doubles;
+  /// `interests` must share the catalog's keyword universe.
+  void FillRelevanceRow(const KeywordVector& interests, double* out,
+                        size_t max_threads = 0) const;
+
   /// d(catalog[i], catalog[j]), bit-identical to PairwiseTaskDiversity.
   /// With the triangular cache enabled, the first query touching a tile
   /// fills that whole tile; later queries are one load.

@@ -23,6 +23,10 @@ struct EngineMetrics {
   metrics::Counter completions{"engine.completions"};
   metrics::Counter registrations{"engine.registrations"};
   metrics::Counter deregistrations{"engine.deregistrations"};
+  metrics::Counter warm_seeded{"engine.warm_start.seeded"};
+  metrics::Counter warm_carried_tasks{"engine.warm_start.carried_tasks"};
+  metrics::Counter warm_repaired_slots{"engine.warm_start.repaired_slots"};
+  metrics::Counter warm_cold_fallbacks{"engine.warm_start.cold_fallbacks"};
   metrics::Gauge pool_available{"engine.pool_available"};
   metrics::Gauge active_sessions{"engine.active_sessions"};
   metrics::Histogram setup_seconds{"engine.setup_seconds",
@@ -60,15 +64,30 @@ AssignmentService::AssignmentService(const std::vector<Task>* catalog,
     warm_cache_ = std::make_unique<CatalogCache>(catalog, options_.metric,
                                                  cache_options);
     estimator_.AttachSharedCache(warm_cache_.get());
+    const int64_t rel_bytes = GetEnvIntOr("HTA_SESSION_REL_BYTES", -1);
+    if (rel_bytes >= 0) {
+      options_.session_relevance_bytes = static_cast<size_t>(rel_bytes);
+    }
+    if (options_.session_relevance_bytes > 0) {
+      session_rel_ = std::make_unique<SessionRelevanceCache>(
+          warm_cache_.get(), options_.session_relevance_bytes);
+      estimator_.AttachSessionRelevance(session_rel_.get());
+    }
   }
+  // Carry-over needs both the subset views (the instance mixes
+  // available and still-assigned tasks, so the cold task-copy path
+  // doesn't apply) and the per-session displays this service tracks.
+  options_.warm_start =
+      options_.warm_cache &&
+      GetEnvIntOr("HTA_WARM_START", options_.warm_start ? 1 : 0) != 0;
 }
 
 uint64_t AssignmentService::RegisterWorker(const KeywordVector& interests) {
   const uint64_t id = next_worker_id_++;
-  Session session{Worker(id, interests, options_.prior), {}, {}, 0, 0,
-                  true,   true,
-                  false,  {}};
-  sessions_.emplace(id, std::move(session));
+  sessions_.emplace(id, Session(Worker(id, interests, options_.prior)));
+  if (session_rel_ != nullptr) {
+    session_rel_->AddSession(id, interests, options_.solver_threads);
+  }
   ++active_sessions_;
   Em().registrations.Add();
   Em().active_sessions.Set(static_cast<int64_t>(active_sessions_));
@@ -168,6 +187,8 @@ void AssignmentService::Deregister(uint64_t worker_id) {
   session.displayed.clear();
   session.displayed_pos.clear();
   session.displayed_live = 0;
+  session.last_bundle.clear();
+  if (session_rel_ != nullptr) session_rel_->RemoveSession(worker_id);
 }
 
 MotivationWeights AssignmentService::CurrentWeights(uint64_t worker_id) const {
@@ -197,6 +218,9 @@ std::vector<size_t> AssignmentService::DrawRandomAvailable(size_t count) {
 }
 
 void AssignmentService::Display(Session* session, std::vector<size_t> bundle) {
+  // Remember the optimized bundle before the extras dilute it: its
+  // surviving members seed the worker's next warm-started iteration.
+  session->last_bundle = bundle;
   // Paper setup: the displayed set is the optimized bundle plus a few
   // random tasks to avoid relevance silos.
   std::vector<size_t> extras = DrawRandomAvailable(options_.extra_random_tasks);
@@ -249,10 +273,16 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
   double motivation = 0.0;
   size_t solver_task_count = 0;
   double setup_seconds = 0.0;
+  bool warm_seeded = false;
+  size_t carried_tasks = 0;
+  size_t repaired_slots = 0;
   if (!solve_ids.empty() && pool_.available_count() > 0) {
     // Build the iteration-local instance: a sample of available tasks
-    // plus the due workers with their current weight estimates.
-    std::vector<size_t> available;
+    // plus the due workers with their current weight estimates. The
+    // task list lives in a member scratch buffer reused across
+    // iterations.
+    std::vector<size_t>& available = scratch_available_;
+    available.clear();
     if (pool_.available_count() > options_.max_tasks_per_iteration) {
       std::vector<size_t> positions = rng_.SampleWithoutReplacement(
           pool_.available_count(), options_.max_tasks_per_iteration);
@@ -262,8 +292,9 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
         available.push_back(pool_.SelectAvailable(pos));
       }
     } else {
-      available = pool_.AvailableIndices();
+      pool_.AvailableIndicesInto(&available);
     }
+    const size_t fresh_count = available.size();
     std::vector<Worker> local_workers;
     local_workers.reserve(solve_ids.size());
     for (uint64_t id : solve_ids) {
@@ -271,6 +302,45 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
       local_workers.emplace_back(id, session.worker.interests(),
                                  estimator_.Estimate(id));
     }
+
+    // Carry-over seed (warm start): each due worker keeps the surviving
+    // members of their previous optimized bundle — still displayed,
+    // hence still kAssigned and theirs. Survivors join the instance
+    // after the fresh sample (they are disjoint from it: the sample is
+    // kAvailable), and the seed assignment hands each worker their own
+    // survivors; completed and departed tasks/workers have already
+    // dropped out of the displays. No survivors at all → cold fallback.
+    Assignment seed;
+    if (options_.warm_start &&
+        options_.strategy == StrategyKind::kHtaGre &&
+        warm_cache_ != nullptr) {
+      trace::PhaseSpan seed_span("engine.warm_seed");
+      seed.bundles.resize(solve_ids.size());
+      for (size_t q = 0; q < solve_ids.size(); ++q) {
+        const Session& session = sessions_.at(solve_ids[q]);
+        for (size_t t : session.last_bundle) {
+          if (session.displayed_pos.find(t) == session.displayed_pos.end()) {
+            continue;  // Completed (or re-randomized) since last display.
+          }
+          seed.bundles[q].push_back(static_cast<TaskIndex>(available.size()));
+          available.push_back(t);
+          ++carried_tasks;
+        }
+      }
+      warm_seeded = carried_tasks > 0;
+      if (!warm_seeded) Em().warm_cold_fallbacks.Add();
+    }
+
+    // Persistent relevance rows: gather the instance's rel[t][q] table
+    // from the per-session rows instead of re-running the rectangular
+    // sweep (bit-identical values — same popcount kernels). Sessions
+    // past the row budget miss, and the problem falls back to the
+    // sweep.
+    std::vector<double> rel_override;
+    if (warm_cache_ != nullptr && session_rel_ != nullptr) {
+      session_rel_->GatherTable(available, solve_ids, &rel_override);
+    }
+
     // Warm path: a zero-copy view over the shared catalog cache; cold
     // path: materialize the sampled tasks. Both produce bit-identical
     // instances (kDice deployments rely on allow_non_metric, matching
@@ -282,7 +352,8 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
         view.emplace(warm_cache_.get(), std::vector<size_t>(available));
         return HtaProblem::CreateFromSubset(&*view, &local_workers,
                                             options_.xmax,
-                                            /*allow_non_metric=*/true);
+                                            /*allow_non_metric=*/true,
+                                            std::move(rel_override));
       }
       local_tasks.reserve(available.size());
       for (size_t idx : available) local_tasks.push_back((*catalog_)[idx]);
@@ -298,11 +369,24 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
     setup_seconds = setup_timer.ElapsedSeconds();
     std::optional<trace::PhaseSpan> solve_span;
     solve_span.emplace("engine.solve", &Em().solve_seconds);
-    auto solved = SolveWithStrategy(*problem, options_.strategy,
-                                    options_.seed + iterations_.size(), &rng_,
-                                    options_.swap, options_.solver_threads);
+    auto solved = [&]() -> Result<HtaSolveResult> {
+      if (warm_seeded) {
+        LocalSearchOptions ls_options;
+        ls_options.threads = options_.solver_threads;
+        return SolveHtaWarmStart(*problem, seed, ls_options);
+      }
+      return SolveWithStrategy(*problem, options_.strategy,
+                               options_.seed + iterations_.size(), &rng_,
+                               options_.swap, options_.solver_threads);
+    }();
     solve_span.reset();
     HTA_CHECK(solved.ok()) << solved.status();
+    if (warm_seeded) {
+      repaired_slots = solved->stats.warm_repaired_slots;
+      Em().warm_seeded.Add();
+      Em().warm_carried_tasks.Add(carried_tasks);
+      Em().warm_repaired_slots.Add(repaired_slots);
+    }
     if (AuditEnabled()) {
       // Every strategy (HTA and baselines alike) must hand the engine a
       // feasible assignment whose reported objective survives a
@@ -317,13 +401,18 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
 
     // Mark every solved bundle before drawing any random extras, so an
     // extra drawn for one worker cannot collide with a task the solver
-    // granted to another.
+    // granted to another. Carried survivors (locals past the fresh
+    // sample) are already kAssigned and skip the pool transition; a
+    // survivor the refinement dropped simply stays assigned-and-hidden,
+    // exactly like an uncompleted task abandoned by a cold refresh.
     std::vector<std::vector<size_t>> bundles(solve_ids.size());
     for (size_t q = 0; q < solve_ids.size(); ++q) {
       bundles[q].reserve(solved->assignment.bundles[q].size());
       for (TaskIndex local : solved->assignment.bundles[q]) {
         const size_t catalog_index = available[local];
-        HTA_CHECK(pool_.MarkAssigned(catalog_index).ok());
+        if (static_cast<size_t>(local) < fresh_count) {
+          HTA_CHECK(pool_.MarkAssigned(catalog_index).ok());
+        }
         bundles[q].push_back(catalog_index);
       }
     }
@@ -342,6 +431,9 @@ void AssignmentService::RunIteration(const std::vector<uint64_t>& worker_ids) {
   record.solve_seconds = timer.ElapsedSeconds();
   record.setup_seconds = setup_seconds;
   record.motivation = motivation;
+  record.warm_seeded = warm_seeded;
+  record.carried_tasks = carried_tasks;
+  record.repaired_slots = repaired_slots;
   iterations_.push_back(record);
   Em().iterations.Add();
   Em().workers_assigned.Add(assigned_workers);

@@ -12,6 +12,7 @@
 #include "core/catalog_cache.h"
 #include "engine/event_log.h"
 #include "engine/motivation_estimator.h"
+#include "engine/session_relevance_cache.h"
 #include "engine/task_pool.h"
 #include "util/rng.h"
 
@@ -72,6 +73,28 @@ struct AssignmentServiceOptions {
   /// scalar distances per query. HTA_WARM_CACHE_BYTES overrides when
   /// set (raise it for long deployments over big catalogs).
   size_t warm_distance_cache_bytes = size_t{1} << 25;
+  /// Byte budget for the persistent per-session relevance rows (one
+  /// |catalog| double row per registered session, computed once at
+  /// registration and gathered per iteration — see
+  /// SessionRelevanceCache). Sessions past the budget fall back to the
+  /// per-iteration rectangular sweep; results are bit-identical either
+  /// way. Only active with warm_cache. HTA_SESSION_REL_BYTES overrides
+  /// when set; 0 disables row caching entirely.
+  size_t session_relevance_bytes = size_t{1} << 30;
+  /// Cross-iteration warm start (off by default): when a due worker's
+  /// previous optimized bundle still has surviving (displayed,
+  /// uncompleted) tasks, the iteration's instance is the fresh sample
+  /// plus those survivors, and the solve skips matching/LSAP entirely —
+  /// local search starts from the carried bundles, patches holes from
+  /// the sample (insert pass), and refines. Applies only to the
+  /// adaptive kHtaGre strategy and requires warm_cache; iterations with
+  /// no survivors run the cold solve (counted as
+  /// engine.warm_start.cold_fallbacks). Changes assignments (objective
+  /// empirically no worse; every seed and result is auditor-checked
+  /// under HTA_AUDIT=1) — off, the deployment reproduces today's cold
+  /// behavior exactly. The HTA_WARM_START environment variable
+  /// overrides in both directions.
+  bool warm_start = false;
   /// Thread cap handed to every strategy solve (0 = full HTA_THREADS
   /// pool, 1 = serial). Any cap yields bit-identical assignments.
   size_t solver_threads = 0;
@@ -90,6 +113,13 @@ struct IterationRecord {
   /// excluded — it is identical in both modes.
   double setup_seconds = 0.0;
   double motivation = 0.0;   ///< Objective value of the solved instance.
+  /// Warm-start diagnostics: whether this iteration's solve was seeded
+  /// from carried-over bundles, how many surviving tasks it carried,
+  /// and how many bundle holes the repair (insert pass) patched from
+  /// the fresh sample. All zero on cold iterations.
+  bool warm_seeded = false;
+  size_t carried_tasks = 0;
+  size_t repaired_slots = 0;
 };
 
 /// The platform workflow of Fig. 4: workers register, receive displayed
@@ -142,11 +172,19 @@ class AssignmentService {
   /// HTA_WARM_CACHE=0 disabled it).
   const CatalogCache* warm_cache() const { return warm_cache_.get(); }
 
+  /// The persistent per-session relevance rows, or nullptr when running
+  /// cold or with a zero row budget.
+  const SessionRelevanceCache* session_relevance() const {
+    return session_rel_.get();
+  }
+
  private:
   /// Tombstone marking a completed slot of a session's display list.
   static constexpr size_t kNoTask = static_cast<size_t>(-1);
 
   struct Session {
+    explicit Session(Worker w) : worker(std::move(w)) {}
+
     Worker worker;
     /// Catalog indices in display order; completed entries become
     /// kNoTask tombstones so removal is O(1) via displayed_pos.
@@ -162,6 +200,11 @@ class AssignmentService {
     /// can replace the display while a task is in flight; submissions
     /// of previously granted (still assigned) tasks are accepted.
     std::unordered_set<size_t> granted;
+    /// The optimized bundle of the most recent Display (catalog
+    /// indices, random extras excluded). Its members still present in
+    /// displayed_pos are the warm-start survivors carried into the
+    /// worker's next iteration.
+    std::vector<size_t> last_bundle;
   };
 
   /// Re-assigns bundles to the given (active) workers.
@@ -181,6 +224,14 @@ class AssignmentService {
   /// built once per service and shared by every iteration. Null when
   /// the service runs cold.
   std::unique_ptr<CatalogCache> warm_cache_;
+  /// Persistent per-session relevance rows (computed at registration,
+  /// gathered per iteration). Null when running cold or when the row
+  /// budget is zero.
+  std::unique_ptr<SessionRelevanceCache> session_rel_;
+  /// Scratch for the per-iteration instance task list (the sampled or
+  /// full available set, plus carried survivors under warm start) —
+  /// reused across iterations instead of materializing a fresh vector.
+  std::vector<size_t> scratch_available_;
   uint64_t next_worker_id_ = 1;
   double clock_minutes_ = 0.0;
   size_t active_sessions_ = 0;

@@ -20,9 +20,27 @@ void MotivationEstimator::AttachSharedCache(const CatalogCache* cache) {
   shared_cache_ = cache;
 }
 
+void MotivationEstimator::AttachSessionRelevance(
+    const SessionRelevanceCache* rows) {
+  HTA_CHECK(rows != nullptr);
+  session_rel_ = rows;
+}
+
 double MotivationEstimator::Distance(size_t a, size_t b) const {
   if (shared_cache_ != nullptr) return shared_cache_->Distance(a, b);
   return PairwiseTaskDiversity(kind_, (*catalog_)[a], (*catalog_)[b]);
+}
+
+double MotivationEstimator::Relevance(uint64_t worker_id, size_t catalog_task,
+                                      const Worker& worker) const {
+  if (session_rel_ != nullptr) {
+    // The row was built from the session's immutable interests — the
+    // same vector `worker` carries — by the batched kernels, so a hit
+    // equals the scalar evaluation bit-for-bit.
+    const double* row = session_rel_->Row(worker_id);
+    if (row != nullptr) return row[catalog_task];
+  }
+  return TaskRelevance(kind_, (*catalog_)[catalog_task], worker);
 }
 
 void MotivationEstimator::BeginBundle(
@@ -73,11 +91,10 @@ void MotivationEstimator::ObserveCompletion(uint64_t worker_id,
   }
 
   // Relevance component.
-  const double rel = TaskRelevance(kind_, (*catalog_)[catalog_task], worker);
+  const double rel = Relevance(worker_id, catalog_task, worker);
   double max_rel = 0.0;
   for (size_t candidate : remaining) {
-    max_rel = std::max(
-        max_rel, TaskRelevance(kind_, (*catalog_)[candidate], worker));
+    max_rel = std::max(max_rel, Relevance(worker_id, candidate, worker));
   }
   if (max_rel > 0.0) {
     state.relevance_gain_sum += rel / max_rel;

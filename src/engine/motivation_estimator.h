@@ -9,6 +9,7 @@
 #include "core/distance.h"
 #include "core/task.h"
 #include "core/worker.h"
+#include "engine/session_relevance_cache.h"
 
 namespace hta {
 
@@ -44,6 +45,14 @@ class MotivationEstimator {
   /// never changes an estimate, only the cost of producing it.
   void AttachSharedCache(const CatalogCache* cache);
 
+  /// Routes the estimator's task-relevance evaluations through the
+  /// engine's persistent per-session rows (must outlive the estimator).
+  /// A session with a cached row gets O(1) lookups instead of a scalar
+  /// TaskRelevance per candidate scan; sessions without one (budget
+  /// skip) keep the scalar path. Row values come from the same
+  /// popcount kernels, so estimates are bit-identical either way.
+  void AttachSessionRelevance(const SessionRelevanceCache* rows);
+
   /// Starts a new assigned bundle for the worker (called on each
   /// assignment iteration). Progress within a previous bundle is
   /// discarded; accumulated gain averages persist across bundles.
@@ -77,11 +86,14 @@ class MotivationEstimator {
   };
 
   double Distance(size_t a, size_t b) const;
+  double Relevance(uint64_t worker_id, size_t catalog_task,
+                   const Worker& worker) const;
 
   const std::vector<Task>* catalog_;
   DistanceKind kind_;
   MotivationWeights prior_;
   const CatalogCache* shared_cache_ = nullptr;
+  const SessionRelevanceCache* session_rel_ = nullptr;
   std::unordered_map<uint64_t, WorkerState> states_;
 };
 

@@ -1,0 +1,94 @@
+#include "engine/session_relevance_cache.h"
+
+#include "util/check.h"
+#include "util/metrics.h"
+
+namespace hta {
+
+namespace {
+
+/// Row lifecycle + gather observability. The owning service is
+/// single-threaded, so counts are exact.
+struct SessionRelMetrics {
+  metrics::Counter rows_built{"engine.session_rel.rows_built"};
+  metrics::Counter rows_dropped{"engine.session_rel.rows_dropped"};
+  metrics::Counter budget_skips{"engine.session_rel.budget_skips"};
+  metrics::Counter gathers{"engine.session_rel.gathers"};
+  metrics::Counter gather_misses{"engine.session_rel.gather_misses"};
+};
+
+SessionRelMetrics& Srm() {
+  static SessionRelMetrics* m = new SessionRelMetrics();
+  return *m;
+}
+
+}  // namespace
+
+SessionRelevanceCache::SessionRelevanceCache(const CatalogCache* cache,
+                                             size_t max_bytes)
+    : cache_(cache), max_bytes_(max_bytes) {
+  HTA_CHECK(cache != nullptr);
+}
+
+void SessionRelevanceCache::AddSession(uint64_t worker_id,
+                                       const KeywordVector& interests,
+                                       size_t max_threads) {
+  const size_t n = cache_->catalog().size();
+  const size_t row_bytes = n * sizeof(double);
+  auto it = rows_.find(worker_id);
+  if (it == rows_.end()) {
+    // bytes_used_ <= max_bytes_ by construction, so the subtraction
+    // cannot wrap.
+    if (row_bytes > max_bytes_ - bytes_used_) {
+      Srm().budget_skips.Add();
+      return;
+    }
+    it = rows_.emplace(worker_id, std::make_unique_for_overwrite<double[]>(n))
+             .first;
+    bytes_used_ += row_bytes;
+  }
+  cache_->FillRelevanceRow(interests, it->second.get(), max_threads);
+  Srm().rows_built.Add();
+}
+
+void SessionRelevanceCache::RemoveSession(uint64_t worker_id) {
+  auto it = rows_.find(worker_id);
+  if (it == rows_.end()) return;
+  rows_.erase(it);
+  bytes_used_ -= cache_->catalog().size() * sizeof(double);
+  Srm().rows_dropped.Add();
+}
+
+const double* SessionRelevanceCache::Row(uint64_t worker_id) const {
+  auto it = rows_.find(worker_id);
+  return it == rows_.end() ? nullptr : it->second.get();
+}
+
+bool SessionRelevanceCache::GatherTable(
+    const std::vector<size_t>& catalog_indices,
+    const std::vector<uint64_t>& worker_ids, std::vector<double>* out) const {
+  std::vector<const double*> rows;
+  rows.reserve(worker_ids.size());
+  for (uint64_t id : worker_ids) {
+    const double* row = Row(id);
+    if (row == nullptr) {
+      Srm().gather_misses.Add();
+      return false;
+    }
+    rows.push_back(row);
+  }
+  const size_t num_workers = worker_ids.size();
+  out->resize(catalog_indices.size() * num_workers);
+  double* dst = out->data();
+  for (size_t t = 0; t < catalog_indices.size(); ++t) {
+    const size_t c = catalog_indices[t];
+    HTA_DCHECK_LT(c, cache_->catalog().size());
+    for (size_t q = 0; q < num_workers; ++q) {
+      dst[t * num_workers + q] = rows[q][c];
+    }
+  }
+  Srm().gathers.Add();
+  return true;
+}
+
+}  // namespace hta

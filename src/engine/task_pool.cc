@@ -48,15 +48,20 @@ TaskState TaskPool::state(size_t catalog_index) const {
 
 std::vector<size_t> TaskPool::AvailableIndices() const {
   std::vector<size_t> out;
-  out.reserve(available_count_);
+  AvailableIndicesInto(&out);
+  return out;
+}
+
+void TaskPool::AvailableIndicesInto(std::vector<size_t>* out) const {
+  out->clear();
+  out->reserve(available_count_);
   for (size_t w = 0; w < avail_words_.size(); ++w) {
     uint64_t bits = avail_words_[w];
     while (bits != 0) {
-      out.push_back(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
+      out->push_back(w * 64 + static_cast<size_t>(std::countr_zero(bits)));
       bits &= bits - 1;
     }
   }
-  return out;
 }
 
 size_t TaskPool::SelectAvailable(size_t rank) const {

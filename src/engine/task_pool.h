@@ -42,6 +42,11 @@ class TaskPool {
   /// Indices of all currently available tasks, ascending.
   std::vector<size_t> AvailableIndices() const;
 
+  /// Same snapshot written into a caller-owned buffer (cleared first),
+  /// so a per-iteration caller reuses one allocation instead of
+  /// materializing a fresh vector every time.
+  void AvailableIndicesInto(std::vector<size_t>* out) const;
+
   /// Catalog index of the `rank`-th available task in ascending order
   /// (0-based; requires rank < available_count()). O(log |catalog|).
   size_t SelectAvailable(size_t rank) const;

@@ -99,14 +99,24 @@ Result<HtaProblem> HtaProblem::Create(const std::vector<Task>* tasks,
 
 Result<HtaProblem> HtaProblem::CreateFromSubset(
     const CatalogSubsetView* view, const std::vector<Worker>* workers,
-    size_t xmax, bool allow_non_metric) {
+    size_t xmax, bool allow_non_metric,
+    std::vector<double> relevance_override) {
   HTA_CHECK(view != nullptr);
   if (view->size() == 0) {
     return Status::InvalidArgument("HTA needs at least one task");
   }
   HTA_RETURN_IF_ERROR(ValidateWorkers(workers, xmax));
   HTA_RETURN_IF_ERROR(CheckMetric(view->kind(), allow_non_metric));
-  return HtaProblem(workers, xmax, TaskDistanceOracle::FromSharedCache(view));
+  if (!relevance_override.empty() &&
+      relevance_override.size() != view->size() * workers->size()) {
+    return Status::InvalidArgument(
+        "relevance override must be |T| x |W| = " +
+        std::to_string(view->size() * workers->size()) + " entries, got " +
+        std::to_string(relevance_override.size()));
+  }
+  HtaProblem problem(workers, xmax, TaskDistanceOracle::FromSharedCache(view));
+  problem.relevance_override_ = std::move(relevance_override);
+  return problem;
 }
 
 HtaProblem HtaProblem::WithWorkers(const std::vector<Worker>* workers) const {

@@ -53,10 +53,18 @@ class HtaProblem {
   /// the subset size. The view (and its cache/catalog) must outlive the
   /// problem. The metric is the view's kind. Validation matches
   /// Create's.
-  static Result<HtaProblem> CreateFromSubset(const CatalogSubsetView* view,
-                                             const std::vector<Worker>* workers,
-                                             size_t xmax,
-                                             bool allow_non_metric = false);
+  ///
+  /// A non-empty `relevance_override` (row-major |T| x |W|, matching
+  /// FillRelevanceTable's layout) pre-supplies every rel(t, q) — the
+  /// engine's SessionRelevanceCache gathers it from persistent
+  /// per-session rows so no iteration re-runs the rectangular sweep.
+  /// Values must be what the sweep would produce (the session rows are
+  /// built by the same kernels, so this holds bit-exactly); only the
+  /// size is validated.
+  static Result<HtaProblem> CreateFromSubset(
+      const CatalogSubsetView* view, const std::vector<Worker>* workers,
+      size_t xmax, bool allow_non_metric = false,
+      std::vector<double> relevance_override = {});
 
   /// A copy of this problem with the worker list replaced (same tasks,
   /// same oracle — including a shared subset view or dense-matrix

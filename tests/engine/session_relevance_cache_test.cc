@@ -1,0 +1,196 @@
+// SessionRelevanceCache bit-identity and budget behavior: rows computed
+// once at registration must be EXPECT_EQ-identical (not just close) to
+// both the scalar TaskRelevance reference and a fresh batched
+// RectangularRelevance sweep, across every DistanceKind and several
+// kernel thread caps — the warm-start engine serves solver relevance
+// tables from these rows, so any drift would break the engine's
+// warm/cold equivalence guarantee. Budget-capped sessions must degrade
+// to a reported miss (caller falls back to the fresh sweep), never to a
+// wrong table.
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/catalog_cache.h"
+#include "core/distance.h"
+#include "core/packed_set.h"
+#include "engine/session_relevance_cache.h"
+#include "util/rng.h"
+
+namespace hta {
+namespace {
+
+constexpr size_t kUniverse = 64;
+
+std::vector<Task> RandomCatalog(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Task> tasks;
+  tasks.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    KeywordVector v(kUniverse);
+    const size_t bits = 1 + rng.NextBounded(6);
+    for (size_t b = 0; b < bits; ++b) {
+      v.Set(static_cast<KeywordId>(rng.NextBounded(kUniverse)));
+    }
+    tasks.emplace_back(i, v);
+  }
+  return tasks;
+}
+
+std::vector<KeywordVector> RandomInterests(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<KeywordVector> out;
+  for (size_t w = 0; w < count; ++w) {
+    KeywordVector v(kUniverse);
+    for (int b = 0; b < 4; ++b) {
+      v.Set(static_cast<KeywordId>(rng.NextBounded(kUniverse)));
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+class SessionRelevanceBitIdentity
+    : public ::testing::TestWithParam<std::tuple<DistanceKind, size_t>> {};
+
+TEST_P(SessionRelevanceBitIdentity, RowsMatchScalarAndRectangularSweeps) {
+  const DistanceKind kind = std::get<0>(GetParam());
+  const size_t threads = std::get<1>(GetParam());
+  const auto catalog = RandomCatalog(181, /*seed=*/11);
+  const auto interests = RandomInterests(5, /*seed=*/12);
+  const CatalogCache cache(&catalog, kind);
+
+  SessionRelevanceCache rows(&cache, /*max_bytes=*/size_t{1} << 30);
+  for (size_t q = 0; q < interests.size(); ++q) {
+    rows.AddSession(/*worker_id=*/100 + q, interests[q], threads);
+  }
+  ASSERT_EQ(rows.session_count(), interests.size());
+  EXPECT_EQ(rows.bytes_used(),
+            interests.size() * catalog.size() * sizeof(double));
+
+  // Reference 1: the scalar per-pair path every cold component uses.
+  for (size_t q = 0; q < interests.size(); ++q) {
+    const double* row = rows.Row(100 + q);
+    ASSERT_NE(row, nullptr);
+    const Worker worker(100 + q, interests[q]);
+    for (size_t t = 0; t < catalog.size(); ++t) {
+      EXPECT_EQ(row[t], TaskRelevance(kind, catalog[t], worker))
+          << "kind=" << DistanceKindName(kind) << " threads=" << threads
+          << " q=" << q << " t=" << t;
+    }
+  }
+
+  // Reference 2: one fresh batched catalog x workers sweep — the exact
+  // kernel a cold FillRelevanceTable would run.
+  const PackedSetMatrix packed_interests =
+      PackedSetMatrix::FromVectors(interests);
+  std::vector<double> fresh(catalog.size() * interests.size());
+  RectangularRelevance(cache.packed(), packed_interests, kind, fresh.data(),
+                       threads);
+  std::vector<size_t> all_tasks(catalog.size());
+  for (size_t t = 0; t < catalog.size(); ++t) all_tasks[t] = t;
+  std::vector<uint64_t> ids;
+  for (size_t q = 0; q < interests.size(); ++q) ids.push_back(100 + q);
+  std::vector<double> gathered;
+  ASSERT_TRUE(rows.GatherTable(all_tasks, ids, &gathered));
+  ASSERT_EQ(gathered.size(), fresh.size());
+  for (size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(gathered[i], fresh[i]) << "i=" << i;
+  }
+
+  // Subset gather in scrambled order matches the scalar reference too
+  // (this is the solver-table layout: rel[t * |W| + q]).
+  const std::vector<size_t> subset = {180, 0, 97, 3, 55, 55, 14};
+  ASSERT_TRUE(rows.GatherTable(subset, ids, &gathered));
+  ASSERT_EQ(gathered.size(), subset.size() * ids.size());
+  for (size_t t = 0; t < subset.size(); ++t) {
+    for (size_t q = 0; q < ids.size(); ++q) {
+      const Worker worker(ids[q], interests[q]);
+      EXPECT_EQ(gathered[t * ids.size() + q],
+                TaskRelevance(kind, catalog[subset[t]], worker));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KindsAndThreads, SessionRelevanceBitIdentity,
+    ::testing::Combine(::testing::Values(DistanceKind::kJaccard,
+                                         DistanceKind::kDice,
+                                         DistanceKind::kHamming,
+                                         DistanceKind::kCosineAngular),
+                       ::testing::Values(size_t{0}, size_t{1}, size_t{2},
+                                         size_t{4})),
+    [](const ::testing::TestParamInfo<std::tuple<DistanceKind, size_t>>&
+           info) {
+      std::string name = DistanceKindName(std::get<0>(info.param)) +
+                         "_threads" + std::to_string(std::get<1>(info.param));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(SessionRelevanceCacheTest, BudgetSkipsInsteadOfEvicting) {
+  const auto catalog = RandomCatalog(100, /*seed=*/21);
+  const auto interests = RandomInterests(3, /*seed=*/22);
+  const CatalogCache cache(&catalog, DistanceKind::kJaccard);
+  const size_t row_bytes = catalog.size() * sizeof(double);
+
+  // Budget fits exactly two rows; the third registration is skipped.
+  SessionRelevanceCache rows(&cache, 2 * row_bytes);
+  rows.AddSession(1, interests[0]);
+  rows.AddSession(2, interests[1]);
+  rows.AddSession(3, interests[2]);
+  EXPECT_TRUE(rows.Contains(1));
+  EXPECT_TRUE(rows.Contains(2));
+  EXPECT_FALSE(rows.Contains(3));
+  EXPECT_EQ(rows.Row(3), nullptr);
+  EXPECT_EQ(rows.bytes_used(), 2 * row_bytes);
+
+  // A gather involving the uncached session reports a miss and leaves
+  // the output untouched — the caller's fallback sweep sees its own
+  // buffer, never a half-written table.
+  const std::vector<size_t> subset = {0, 5, 9};
+  std::vector<double> out(99, -7.0);
+  EXPECT_FALSE(rows.GatherTable(subset, {1, 3}, &out));
+  ASSERT_EQ(out.size(), 99u);
+  for (const double v : out) EXPECT_EQ(v, -7.0);
+  // Cached-only gathers still succeed.
+  EXPECT_TRUE(rows.GatherTable(subset, {1, 2}, &out));
+  EXPECT_EQ(out.size(), subset.size() * 2);
+
+  // Removing a row frees budget for a later registration.
+  rows.RemoveSession(1);
+  EXPECT_FALSE(rows.Contains(1));
+  EXPECT_EQ(rows.bytes_used(), row_bytes);
+  rows.AddSession(3, interests[2]);
+  EXPECT_TRUE(rows.Contains(3));
+  EXPECT_EQ(rows.bytes_used(), 2 * row_bytes);
+  // Removing an uncached or unknown session is a no-op.
+  rows.RemoveSession(1);
+  rows.RemoveSession(42);
+  EXPECT_EQ(rows.bytes_used(), 2 * row_bytes);
+}
+
+TEST(SessionRelevanceCacheTest, ReRegisteringOverwritesInPlace) {
+  const auto catalog = RandomCatalog(60, /*seed=*/31);
+  const auto interests = RandomInterests(2, /*seed=*/32);
+  const CatalogCache cache(&catalog, DistanceKind::kDice);
+  SessionRelevanceCache rows(&cache, size_t{1} << 20);
+
+  rows.AddSession(7, interests[0]);
+  const size_t bytes_after_first = rows.bytes_used();
+  rows.AddSession(7, interests[1]);  // Same id, new session profile.
+  EXPECT_EQ(rows.bytes_used(), bytes_after_first);
+  EXPECT_EQ(rows.session_count(), 1u);
+  const double* row = rows.Row(7);
+  ASSERT_NE(row, nullptr);
+  const Worker worker(7, interests[1]);
+  for (size_t t = 0; t < catalog.size(); ++t) {
+    EXPECT_EQ(row[t], TaskRelevance(DistanceKind::kDice, catalog[t], worker));
+  }
+}
+
+}  // namespace
+}  // namespace hta
