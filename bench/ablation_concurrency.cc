@@ -37,7 +37,7 @@ int main() {
                         StrategyKind::kHtaGreDiv};
 
   TableWriter table({"mode", "strategy", "quality", "tasks",
-                     "mean session (min)"});
+                     "mean session (min)", "peak sessions"});
   for (const bool concurrent : {false, true}) {
     OnlineExperimentOptions run_options = options;
     run_options.concurrent_sessions = concurrent;
@@ -52,7 +52,8 @@ int main() {
       table.AddRow({concurrent ? "concurrent" : "sequential",
                     StrategyName(c.kind), FmtPercent(quality),
                     FmtInt(static_cast<long long>(c.total_tasks)),
-                    FmtDouble(Summarize(c.session_duration_minutes).mean, 1)});
+                    FmtDouble(Summarize(c.session_duration_minutes).mean, 1),
+                    FmtInt(static_cast<long long>(c.max_concurrent_sessions))});
     }
   }
   table.Print(std::cout);

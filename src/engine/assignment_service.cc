@@ -48,7 +48,9 @@ AssignmentService::AssignmentService(const std::vector<Task>* catalog,
       options_(options),
       pool_(catalog),
       estimator_(catalog, options.metric, options.prior),
-      rng_(options.seed) {
+      rng_(options.seed),
+      next_worker_id_(options.worker_id_start) {
+  HTA_CHECK(options_.worker_id_stride > 0) << "worker_id_stride must be >= 1";
   HTA_CHECK(catalog != nullptr);
   HTA_CHECK_GE(options_.xmax, size_t{1});
   options_.warm_cache =
@@ -83,7 +85,8 @@ AssignmentService::AssignmentService(const std::vector<Task>* catalog,
 }
 
 uint64_t AssignmentService::RegisterWorker(const KeywordVector& interests) {
-  const uint64_t id = next_worker_id_++;
+  const uint64_t id = next_worker_id_;
+  next_worker_id_ += options_.worker_id_stride;
   sessions_.emplace(id, Session(Worker(id, interests, options_.prior)));
   if (session_rel_ != nullptr) {
     session_rel_->AddSession(id, interests, options_.solver_threads);

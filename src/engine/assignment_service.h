@@ -98,6 +98,13 @@ struct AssignmentServiceOptions {
   /// Thread cap handed to every strategy solve (0 = full HTA_THREADS
   /// pool, 1 = serial). Any cap yields bit-identical assignments.
   size_t solver_threads = 0;
+  /// Worker-id allocation: ids are worker_id_start, start + stride,
+  /// start + 2·stride, ... The defaults (1, 1) preserve the historic
+  /// dense numbering; a sharded front-end gives shard s of S the
+  /// stream (s + 1, stride S) so ids are globally unique and encode
+  /// their shard without any cross-shard coordination.
+  uint64_t worker_id_start = 1;
+  uint64_t worker_id_stride = 1;
   uint64_t seed = 42;
 };
 
@@ -232,7 +239,7 @@ class AssignmentService {
   /// full available set, plus carried survivors under warm start) —
   /// reused across iterations instead of materializing a fresh vector.
   std::vector<size_t> scratch_available_;
-  uint64_t next_worker_id_ = 1;
+  uint64_t next_worker_id_;
   double clock_minutes_ = 0.0;
   size_t active_sessions_ = 0;
   std::unordered_map<uint64_t, Session> sessions_;

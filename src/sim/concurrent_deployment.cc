@@ -1,58 +1,33 @@
 #include "sim/concurrent_deployment.h"
 
-#include <algorithm>
-#include <queue>
+#include <numeric>
 
+#include "sim/deployment_loop.h"
 #include "util/check.h"
-#include "util/metrics.h"
 #include "util/rng.h"
 
 namespace hta {
 
-namespace {
-
-/// Deployment observability: event-queue shape and session churn. The
-/// simulation loop is serial, so gauges are exact; counters are
-/// per-event and thus deterministic for a given seed.
-struct DeploymentMetrics {
-  metrics::Counter arrivals{"deployment.arrivals"};
-  metrics::Counter expirations{"deployment.expirations"};
-  metrics::Counter events_processed{"deployment.events_processed"};
-  metrics::Gauge queue_depth{"deployment.queue_depth"};
-  metrics::Gauge concurrent_sessions{"deployment.concurrent_sessions"};
-};
+namespace sim_internal {
 
 DeploymentMetrics& Dm() {
   static DeploymentMetrics* m = new DeploymentMetrics();
   return *m;
 }
 
-enum class EventKind { kArrival, kTaskDone, kSessionExpired };
+}  // namespace sim_internal
 
-struct Event {
-  double minute;
-  size_t worker_slot;
-  EventKind kind;
-  uint64_t sequence;  // Tie-break for deterministic ordering.
-};
-
-struct EventLater {
-  bool operator()(const Event& a, const Event& b) const {
-    if (a.minute != b.minute) return a.minute > b.minute;
-    return a.sequence > b.sequence;
+std::vector<double> PoissonArrivalMinutes(size_t count, double rate_per_min,
+                                          uint64_t seed) {
+  std::vector<double> arrivals(count);
+  Rng rng(seed);
+  double arrival = 0.0;
+  for (size_t slot = 0; slot < count; ++slot) {
+    arrival += rng.NextExponential(rate_per_min);
+    arrivals[slot] = arrival;
   }
-};
-
-struct WorkerRun {
-  uint64_t service_id = 0;
-  double arrival_minute = 0.0;
-  double busy_until = 0.0;
-  size_t current_task = 0;
-  bool active = false;
-  SessionResult session;
-};
-
-}  // namespace
+  return arrivals;
+}
 
 DeploymentResult RunConcurrentDeployment(
     AssignmentService* service, const Catalog& catalog,
@@ -66,130 +41,16 @@ DeploymentResult RunConcurrentDeployment(
   result.sessions.resize(workers->size());
   if (workers->empty()) return result;
 
-  Rng arrivals_rng(options.seed);
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue;
-  std::vector<WorkerRun> runs(workers->size());
-  uint64_t sequence = 0;
+  const std::vector<double> arrivals = PoissonArrivalMinutes(
+      workers->size(), options.arrival_rate_per_min, options.seed);
+  std::vector<size_t> slots(workers->size());
+  std::iota(slots.begin(), slots.end(), size_t{0});
 
-  double arrival = 0.0;
-  for (size_t slot = 0; slot < workers->size(); ++slot) {
-    arrival += arrivals_rng.NextExponential(options.arrival_rate_per_min);
-    runs[slot].arrival_minute = arrival;
-    queue.push(Event{arrival, slot, EventKind::kArrival, sequence++});
-  }
-
-  size_t concurrent = 0;
-  size_t peak_concurrent = 0;
-
-  // Ends the session; records duration and frees the worker's slot.
-  // Every caller has already advanced the service clock to `minute`, so
-  // Deregister (and its audit-log record) lands at the same service
-  // time as the recorded session end.
-  auto end_session = [&](size_t slot, double minute, bool voluntary) {
-    HTA_DCHECK_EQ(minute, service->clock_minutes());
-    WorkerRun& run = runs[slot];
-    if (!run.active) return;
-    run.active = false;
-    run.session.worker_id = run.service_id;
-    run.session.left_voluntarily = voluntary;
-    run.session.arrival_minute = run.arrival_minute;
-    run.session.ended_minute = minute;
-    run.session.duration_minutes = std::min(
-        minute - run.arrival_minute, options.session.max_minutes);
-    service->Deregister(run.service_id);
-    result.sessions[slot] = run.session;
-    result.deployment_minutes = std::max(result.deployment_minutes, minute);
-    --concurrent;
-    Dm().concurrent_sessions.Set(static_cast<int64_t>(concurrent));
-  };
-
-  // Picks the next task for the worker and schedules its completion.
-  // If nothing is displayed the session ends now; if the session cap
-  // would be crossed mid-task the task is not submitted and the worker
-  // idles out their HIT — the already-queued kSessionExpired event
-  // ends the session at the cap, once the service clock has actually
-  // advanced there. (Ending it here used to Deregister at a service
-  // clock earlier than the recorded session end.)
-  auto schedule_next = [&](size_t slot, double minute) {
-    WorkerRun& run = runs[slot];
-    BehavioralWorker& worker = (*workers)[slot];
-    const std::vector<size_t> displayed = service->Displayed(run.service_id);
-    if (displayed.empty()) {
-      end_session(slot, minute, /*voluntary=*/false);
-      return;
-    }
-    const size_t chosen = worker.ChooseTask(displayed);
-    const double spent =
-        worker.CompletionSeconds(chosen, displayed) / 60.0;
-    const double done_at = minute + spent;
-    if (done_at - run.arrival_minute > options.session.max_minutes) {
-      return;  // Allotted time expires mid-task; wait for expiry event.
-    }
-    run.current_task = chosen;
-    run.busy_until = done_at;
-    queue.push(Event{done_at, slot, EventKind::kTaskDone, sequence++});
-  };
-
-  while (!queue.empty()) {
-    const Event event = queue.top();
-    queue.pop();
-    Dm().events_processed.Add();
-    Dm().queue_depth.Set(static_cast<int64_t>(queue.size()));
-    WorkerRun& run = runs[event.worker_slot];
-    BehavioralWorker& worker = (*workers)[event.worker_slot];
-
-    switch (event.kind) {
-      case EventKind::kArrival: {
-        service->AdvanceClock(event.minute);
-        Dm().arrivals.Add();
-        run.service_id =
-            service->RegisterWorker(worker.profile().interests());
-        run.active = true;
-        ++concurrent;
-        peak_concurrent = std::max(peak_concurrent, concurrent);
-        Dm().concurrent_sessions.Set(static_cast<int64_t>(concurrent));
-        // The session's hard deadline is fixed at arrival; processing
-        // expiry as a queued event keeps Deregister on the same
-        // non-decreasing service clock as every other transition.
-        queue.push(Event{event.minute + options.session.max_minutes,
-                         event.worker_slot, EventKind::kSessionExpired,
-                         sequence++});
-        schedule_next(event.worker_slot, event.minute);
-        break;
-      }
-      case EventKind::kSessionExpired: {
-        if (!run.active) break;
-        service->AdvanceClock(event.minute);
-        Dm().expirations.Add();
-        end_session(event.worker_slot, event.minute, /*voluntary=*/false);
-        break;
-      }
-      case EventKind::kTaskDone: {
-        if (!run.active) break;
-        service->AdvanceClock(event.minute);
-        const size_t task = run.current_task;
-        CompletionEvent completion;
-        completion.session_minute = event.minute - run.arrival_minute;
-        completion.wall_minute = event.minute;
-        completion.worker_id = run.service_id;
-        completion.catalog_task = task;
-        completion.questions =
-            static_cast<int>(catalog.questions_per_task[task]);
-        for (int q = 0; q < completion.questions; ++q) {
-          if (worker.AnswerQuestionCorrectly(task)) ++completion.correct;
-        }
-        worker.RecordCompletion(task);
-        run.session.events.push_back(completion);
-        HTA_CHECK(service->NotifyCompleted(run.service_id, task).ok());
-        if (worker.DecidesToLeave()) {
-          end_session(event.worker_slot, event.minute, /*voluntary=*/true);
-        } else {
-          schedule_next(event.worker_slot, event.minute);
-        }
-        break;
-      }
-    }
-  }
+  const sim_internal::LoopStats stats = sim_internal::RunDeploymentLoop(
+      service, catalog, workers, slots, arrivals, options.session,
+      &result.sessions);
+  result.deployment_minutes = stats.deployment_minutes;
+  result.max_concurrent_sessions = stats.peak_concurrent;
 
   // Deployment aggregate stats.
   result.iterations = service->iteration_count();
@@ -205,7 +66,6 @@ DeploymentResult RunConcurrentDeployment(
   }
   result.mean_workers_per_iteration =
       pooled_count > 0 ? pooled_sum / static_cast<double>(pooled_count) : 0.0;
-  result.max_concurrent_sessions = static_cast<double>(peak_concurrent);
   return result;
 }
 

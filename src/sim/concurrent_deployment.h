@@ -28,13 +28,21 @@ struct DeploymentResult {
   size_t iterations = 0;                ///< Service iterations performed.
   double mean_workers_per_iteration = 0.0;  ///< Mean |W^i| over
                                             ///< solver-backed iterations.
-  double max_concurrent_sessions = 0.0;     ///< Peak simultaneous workers.
+  size_t max_concurrent_sessions = 0;       ///< Peak simultaneous workers
+                                            ///< (a count of sessions).
   /// Summed problem-construction time across iterations (the part the
   /// service's warm catalog cache amortizes; see IterationRecord).
   double total_setup_seconds = 0.0;
   /// Summed end-to-end iteration time (setup + solve + bookkeeping).
   double total_solve_seconds = 0.0;
 };
+
+/// Cumulative Poisson-process arrival times (minutes) for `count`
+/// workers: the canonical arrival stream every deployment driver —
+/// unsharded or sharded — draws from `Rng(seed)` in slot order, so the
+/// same (count, rate, seed) triple always produces the same schedule.
+std::vector<double> PoissonArrivalMinutes(size_t count, double rate_per_min,
+                                          uint64_t seed);
 
 /// Runs a concurrent deployment: each worker in `workers` arrives at a
 /// Poisson-process time and works a session against the shared

@@ -110,6 +110,7 @@ OnlineExperimentResult RunOnlineExperiment(
     sessions.reserve(options.sessions_per_strategy);
     double alpha_sum = 0.0;
     size_t alpha_count = 0;
+    size_t max_concurrent = 1;  // Back-to-back sessions never overlap.
     if (options.concurrent_sessions) {
       ConcurrentDeploymentOptions deployment;
       deployment.arrival_rate_per_min = options.arrival_rate_per_min;
@@ -118,6 +119,7 @@ OnlineExperimentResult RunOnlineExperiment(
       DeploymentResult run = RunConcurrentDeployment(&service, catalog,
                                                      &behavioral, deployment);
       sessions = std::move(run.sessions);
+      max_concurrent = run.max_concurrent_sessions;
       if (kind == StrategyKind::kHtaGre) {
         for (const SessionResult& session : sessions) {
           alpha_sum += service.CurrentWeights(session.worker_id).alpha;
@@ -141,6 +143,7 @@ OnlineExperimentResult RunOnlineExperiment(
         BuildCurves(kind, sessions, options.session.max_minutes);
     curves.mean_alpha_estimate_end =
         alpha_count > 0 ? alpha_sum / static_cast<double>(alpha_count) : 0.0;
+    curves.max_concurrent_sessions = max_concurrent;
     curves.service_iterations = service.iteration_count();
     for (const IterationRecord& record : service.iterations()) {
       curves.total_setup_seconds += record.setup_seconds;

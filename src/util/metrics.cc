@@ -149,7 +149,56 @@ void HistogramObserve(Metric* metric, double v) {
   AtomicAddDouble(&metric->hist_sum, v);
 }
 
+double HistogramQuantileOf(const Metric* metric, double q) {
+  HTA_CHECK(metric->kind == Kind::kHistogram);
+  std::vector<uint64_t> counts(metric->bounds.size() + 1);
+  for (size_t b = 0; b < counts.size(); ++b) {
+    counts[b] = metric->buckets[b].load(std::memory_order_relaxed);
+  }
+  return HistogramQuantile(metric->bounds, counts, q);
+}
+
 }  // namespace internal
+
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& bucket_counts,
+                         double q) {
+  HTA_CHECK_EQ(bucket_counts.size(), bounds.size() + 1)
+      << "bucket_counts must include the overflow bucket";
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t total = 0;
+  for (const uint64_t c : bucket_counts) total += c;
+  if (total == 0) return 0.0;
+
+  // Rank of the target observation (1-based, ceil(q * total) clamped
+  // to [1, total]): the bucket whose cumulative count first reaches
+  // the rank owns the quantile.
+  const double target = std::max(1.0, q * static_cast<double>(total));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < bucket_counts.size(); ++b) {
+    const uint64_t c = bucket_counts[b];
+    if (c == 0) continue;
+    if (static_cast<double>(cumulative + c) >= target) {
+      if (b == bounds.size()) {
+        // Overflow bucket: no finite upper edge to interpolate toward;
+        // saturate at the largest finite bound.
+        return bounds.back();
+      }
+      const double lower = b == 0 ? 0.0 : bounds[b - 1];
+      const double upper = bounds[b];
+      const double within =
+          (target - static_cast<double>(cumulative)) / static_cast<double>(c);
+      return lower + (upper - lower) * within;
+    }
+    cumulative += c;
+  }
+  return bounds.back();  // Unreachable: total > 0 places the rank above.
+}
+
+double MetricValue::ValueAtQuantile(double q) const {
+  if (kind != internal::Kind::kHistogram) return 0.0;
+  return HistogramQuantile(bounds, bucket_counts, q);
+}
 
 Histogram::Histogram(const char* name, std::vector<double> bounds)
     : metric_(internal::Register(name, internal::Kind::kHistogram, &bounds)) {}

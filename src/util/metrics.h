@@ -75,8 +75,21 @@ Metric* Register(const char* name, Kind kind,
 void CounterAdd(Metric* metric, uint64_t n);
 void GaugeSet(Metric* metric, int64_t v);
 void HistogramObserve(Metric* metric, double v);
+double HistogramQuantileOf(const Metric* metric, double q);
 
 }  // namespace internal
+
+/// Estimates the q-quantile (q in [0, 1], clamped) of a bucketed
+/// histogram by linear interpolation within the bucket owning the
+/// target rank. `bounds` are the inclusive upper bounds, and
+/// `bucket_counts` has bounds.size() + 1 entries (last = overflow).
+/// The first bucket interpolates from 0; an overflow-bucket hit
+/// returns the largest finite bound (the estimate saturates there).
+/// Returns 0 when the histogram is empty. This is the single home of
+/// the bucket→quantile math shared by Histogram, MetricValue, the
+/// throughput bench, and the snapshot exporter.
+double HistogramQuantile(const std::vector<double>& bounds,
+                         const std::vector<uint64_t>& bucket_counts, double q);
 
 /// Monotonic event counter.
 class Counter {
@@ -124,6 +137,14 @@ class Histogram {
     internal::HistogramObserve(metric_, v);
   }
 
+  /// Quantile estimate over the observations recorded so far (see
+  /// HistogramQuantile). Reads the live buckets with relaxed loads —
+  /// exact when writers are quiescent, a consistent-enough estimate
+  /// otherwise.
+  double ValueAtQuantile(double q) const {
+    return internal::HistogramQuantileOf(metric_, q);
+  }
+
  private:
   internal::Metric* metric_;
 };
@@ -146,6 +167,10 @@ struct MetricValue {
   double sum = 0.0;
   std::vector<double> bounds;
   std::vector<uint64_t> bucket_counts;
+
+  /// Histogram-only: quantile estimate from the snapshotted buckets
+  /// (see HistogramQuantile). Returns 0 for non-histogram kinds.
+  double ValueAtQuantile(double q) const;
 };
 
 /// Merged view of every registered metric, sorted by name. Exact when

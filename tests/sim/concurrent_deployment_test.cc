@@ -64,7 +64,7 @@ TEST(ConcurrentDeploymentTest, AllSessionsComplete) {
     EXPECT_GE(s.duration_minutes, 0.0);
   }
   EXPECT_GT(result.deployment_minutes, 0.0);
-  EXPECT_GE(result.max_concurrent_sessions, 1.0);
+  EXPECT_GE(result.max_concurrent_sessions, size_t{1});
 }
 
 TEST(ConcurrentDeploymentTest, SessionsActuallyOverlap) {
@@ -81,7 +81,7 @@ TEST(ConcurrentDeploymentTest, SessionsActuallyOverlap) {
   options.session.max_minutes = 10.0;
   const DeploymentResult result =
       RunConcurrentDeployment(&service, catalog, &workers, options);
-  EXPECT_GT(result.max_concurrent_sessions, 1.0);
+  EXPECT_GT(result.max_concurrent_sessions, size_t{1});
   EXPECT_GT(result.mean_workers_per_iteration, 1.0)
       << "concurrent deployments should pool workers into iterations";
 }

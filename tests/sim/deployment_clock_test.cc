@@ -164,7 +164,7 @@ TEST(DeploymentClockTest, InterleavedReplayReproducesLiveEstimates) {
   options.session.max_minutes = 8.0;
   const DeploymentResult result =
       RunConcurrentDeployment(&service, catalog, &workers, options);
-  ASSERT_GT(result.max_concurrent_sessions, 1.0)
+  ASSERT_GT(result.max_concurrent_sessions, size_t{1})
       << "sessions did not interleave; the test exercises nothing";
 
   std::vector<Worker> replay_workers;

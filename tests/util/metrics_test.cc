@@ -159,6 +159,52 @@ TEST_F(MetricsTest, ResetZeroesEverything) {
   EXPECT_EQ(Find(snapshot, "test.reset_histogram").count, 0u);
 }
 
+TEST_F(MetricsTest, HistogramQuantileInterpolatesWithinBucket) {
+  // Bounds {1,2,3,4}: one sample per finite bucket. Target ranks land
+  // exactly on hand-computed interpolation points.
+  const std::vector<double> bounds = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<uint64_t> counts = {1, 1, 1, 1, 0};
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.25), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.75), 3.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.99), 3.96);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 1.0), 4.0);
+  // q below the first sample's rank clamps to the first bucket.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, counts, 0.0), 1.0);
+}
+
+TEST_F(MetricsTest, HistogramQuantileEdgeCases) {
+  const std::vector<double> bounds = {1.0, 2.0};
+  // Empty histogram reports 0 for every quantile.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 0}, 0.5), 0.0);
+  // Mass in the overflow bucket saturates at the largest finite bound.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {0, 0, 5}, 0.99), 2.0);
+  // Out-of-range q is clamped.
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {2, 2, 0}, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramQuantile(bounds, {2, 2, 0}, -1.0), 0.5);
+}
+
+TEST_F(MetricsTest, ValueAtQuantileMatchesLiveHistogram) {
+  static Histogram hist("test.quantile_histogram", {1.0, 2.0, 3.0, 4.0});
+  hist.Observe(0.5);
+  hist.Observe(1.5);
+  hist.Observe(2.5);
+  hist.Observe(3.5);
+  EXPECT_DOUBLE_EQ(hist.ValueAtQuantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(hist.ValueAtQuantile(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(hist.ValueAtQuantile(0.99), 3.96);
+  const MetricValue v = Find(Snapshot(), "test.quantile_histogram");
+  EXPECT_DOUBLE_EQ(v.ValueAtQuantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(v.ValueAtQuantile(0.99), 3.96);
+}
+
+TEST_F(MetricsTest, ValueAtQuantileOnNonHistogramIsZero) {
+  static Counter counter("test.quantile_counter");
+  counter.Add(7);
+  const MetricValue v = Find(Snapshot(), "test.quantile_counter");
+  EXPECT_DOUBLE_EQ(v.ValueAtQuantile(0.5), 0.0);
+}
+
 TEST_F(MetricsTest, ThreadStripeStaysInRange) {
   for (int i = 0; i < 3; ++i) {
     EXPECT_LT(ThreadStripe(), kCounterStripes);

@@ -21,10 +21,14 @@ leaves only per-bench anomalies. A normalized ratio above --threshold
 fails the run (exit 1) and names the offending record, so a perf
 regression in one code path cannot hide behind an otherwise-green suite.
 
-Fresh records with no baseline counterpart (new benches, scales without
-committed records) are reported and skipped, not failed — committing a
-baseline row is how a bench opts into regression tracking. Timings at or
-below --min-seconds (default 1 ms) are skipped as pure noise.
+Fresh records with no baseline counterpart are reported and skipped,
+not failed — committing a baseline row is how a bench opts into
+regression tracking. A bench name absent from every baseline file is
+summarized as one "new bench (no baseline yet)" notice rather than one
+skip line per record, and a baseline file that does not exist yet is
+tolerated with a notice (both happen on the PR that introduces a
+bench). Timings at or below --min-seconds (default 1 ms) are skipped
+as pure noise.
 """
 
 import argparse
@@ -33,9 +37,17 @@ import statistics
 import sys
 
 
-def load_records(path):
+def load_records(path, missing_ok=False):
     records = []
-    with open(path, "r", encoding="utf-8") as f:
+    try:
+        f = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        if missing_ok:
+            print(f"bench_diff: baseline file {path} not found — treating "
+                  f"its benches as new (no baseline yet)")
+            return records
+        sys.exit(f"{path}: not found")
+    with f:
         for line_no, line in enumerate(f, 1):
             line = line.strip()
             if not line:
@@ -97,9 +109,11 @@ def main():
     args = parser.parse_args()
 
     baseline = {}
+    baseline_benches = set()
     for path in args.baselines:
-        for record in load_records(path):
+        for record in load_records(path, missing_ok=True):
             baseline[match_key(record)] = (path, record)
+            baseline_benches.add(record.get("bench"))
 
     fresh = load_records(args.fresh)
     if not fresh:
@@ -107,10 +121,18 @@ def main():
 
     ratios = []  # (ratio, description)
     unmatched = []
+    new_benches = {}  # bench name -> record count
     for record in fresh:
         key = match_key(record)
         if key not in baseline:
-            unmatched.append(key)
+            bench = record.get("bench")
+            if bench not in baseline_benches:
+                # The whole bench is absent from every baseline file:
+                # it is new, not a stale config — pass with one notice
+                # per bench instead of one skip line per record.
+                new_benches[bench] = new_benches.get(bench, 0) + 1
+            else:
+                unmatched.append(key)
             continue
         base_path, base = baseline[key]
         base_fields = timing_fields(base)
@@ -126,6 +148,10 @@ def main():
                            f"{name} [{field}] {fresh_value:.6f}s vs "
                            f"{base_value:.6f}s ({base_path})"))
 
+    for bench, count in sorted(new_benches.items()):
+        print(f"new bench (no baseline yet, pass with notice): {bench} "
+              f"[{count} record(s)] — commit a BENCH_*.json row to opt "
+              f"into regression tracking")
     for key in unmatched:
         print("no baseline (skipped):", " ".join(f"{k}={v}" for k, v in key))
     if not ratios:

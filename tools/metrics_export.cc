@@ -1,10 +1,11 @@
 // hta_metrics_snapshot — drives a scripted concurrent deployment with
 // the metrics registry forced on and prints the resulting snapshot as
 // JSON (or, with --digest, the deterministic counter digest that must
-// be bit-identical across HTA_THREADS).
+// be bit-identical across HTA_THREADS; or, with --quantiles, a
+// per-histogram p50/p90/p99 latency report).
 //
 //   hta_metrics_snapshot [--workers N] [--minutes M] [--arrival-rate R]
-//                        [--seed S] [--digest] [--out FILE]
+//                        [--seed S] [--digest] [--quantiles] [--out FILE]
 //                        [--trace FILE]
 //
 // With --trace FILE the run also records phase spans and flushes them
@@ -32,6 +33,7 @@ struct ExportConfig {
   double arrival_rate = 2.0;
   uint64_t seed = 7;
   bool digest = false;
+  bool quantiles = false;
   std::string out;
   std::string trace;
 };
@@ -39,9 +41,26 @@ struct ExportConfig {
 int Usage() {
   std::cerr << "usage: hta_metrics_snapshot [--workers N] [--minutes M]\n"
                "                            [--arrival-rate R] [--seed S]\n"
-               "                            [--digest] [--out FILE]\n"
-               "                            [--trace FILE]\n";
+               "                            [--digest] [--quantiles]\n"
+               "                            [--out FILE] [--trace FILE]\n";
   return 2;
+}
+
+/// One line per histogram: name, observation count, and interpolated
+/// p50/p90/p99 (see metrics::HistogramQuantile for the estimator).
+std::string QuantileReport(const std::vector<metrics::MetricValue>& snapshot) {
+  std::string report;
+  for (const metrics::MetricValue& v : snapshot) {
+    if (v.kind != metrics::internal::Kind::kHistogram) continue;
+    report += v.name + " count=" + std::to_string(v.count);
+    for (const double q : {0.5, 0.9, 0.99}) {
+      report += " p" + std::to_string(static_cast<int>(q * 100)) + "=" +
+                std::to_string(v.ValueAtQuantile(q));
+    }
+    report += "\n";
+  }
+  if (report.empty()) report = "(no histograms recorded)\n";
+  return report;
 }
 
 std::vector<BehavioralWorker> MakeWorkers(const Catalog& catalog, size_t count,
@@ -93,8 +112,14 @@ int Run(const ExportConfig& config) {
 
   if (!config.trace.empty()) trace::Flush();
 
-  const std::string report =
-      config.digest ? metrics::DeterministicDigest() : metrics::SnapshotJson();
+  std::string report;
+  if (config.quantiles) {
+    report = QuantileReport(metrics::Snapshot());
+  } else if (config.digest) {
+    report = metrics::DeterministicDigest();
+  } else {
+    report = metrics::SnapshotJson();
+  }
   if (config.out.empty()) {
     std::cout << report << "\n";
   } else {
@@ -135,6 +160,8 @@ int main(int argc, char** argv) {
       config.seed = static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--digest") {
       config.digest = true;
+    } else if (arg == "--quantiles") {
+      config.quantiles = true;
     } else if (arg == "--out") {
       const char* v = next();
       if (v == nullptr) return Usage();
